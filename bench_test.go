@@ -1,0 +1,369 @@
+// Benchmark harness: one benchmark per paper artifact (Figures 1, 3, 4, 5
+// and the §V ARL/verdict results) plus micro-benchmarks of the building
+// blocks. The figure benchmarks regenerate the corresponding artifact's
+// computation per iteration against a shared, lazily built lab fixture;
+// cmd/repro produces the actual files.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package pcsmon_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/core"
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+	"pcsmon/internal/mat"
+	"pcsmon/internal/mspc"
+	"pcsmon/internal/pca"
+	"pcsmon/internal/plant"
+	"pcsmon/internal/scenario"
+	"pcsmon/internal/te"
+)
+
+// The shared fixture: a warmed template, a calibrated system, and the four
+// paper scenarios' run data at reduced scale.
+type benchFixture struct {
+	lab     *pcsmon.Lab
+	results map[string]*scenario.Result
+	nocCtrl *dataset.Dataset
+	nocProc *dataset.Dataset
+}
+
+var (
+	fixOnce sync.Once
+	fixErr  error
+	fix     *benchFixture
+)
+
+const (
+	benchOnset = 4.0
+	benchHours = 16.0
+	benchRuns  = 2
+)
+
+func fixture(b *testing.B) *benchFixture {
+	b.Helper()
+	fixOnce.Do(func() {
+		lab, err := pcsmon.NewLab(pcsmon.LabConfig{
+			CalibrationRuns:  3,
+			CalibrationHours: 16,
+			Seed:             42,
+		})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		f := &benchFixture{lab: lab, results: make(map[string]*scenario.Result, 4)}
+		for _, sc := range pcsmon.PaperScenarios(benchOnset) {
+			r, err := lab.RunScenarioFor(sc, benchRuns, benchHours)
+			if err != nil {
+				fixErr = err
+				return
+			}
+			f.results[sc.Key] = r
+		}
+		// One NOC run's views for chart/verdict benchmarks.
+		run, err := lab.Template.NewRun(plant.RunConfig{Seed: 4242, Decimate: 2})
+		if err != nil {
+			fixErr = err
+			return
+		}
+		if _, err := run.RunHours(8); err != nil {
+			fixErr = err
+			return
+		}
+		f.nocCtrl = run.Views().Controller.Data()
+		f.nocProc = run.Views().Process.Data()
+		fix = f
+	})
+	if fixErr != nil {
+		b.Fatalf("fixture: %v", fixErr)
+	}
+	return fix
+}
+
+// BenchmarkFig01_ControlChart regenerates the Figure 1 computation: the
+// D and Q statistic series with control limits over a NOC run.
+func BenchmarkFig01_ControlChart(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, q, lim, err := f.lab.System.ChartSeries(f.nocCtrl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d) == 0 || len(q) == 0 || lim.D99 <= 0 {
+			b.Fatal("empty chart")
+		}
+	}
+	b.ReportMetric(float64(f.nocCtrl.Rows()), "obs/op")
+}
+
+// BenchmarkFig03_Xmeas1Trajectories regenerates the Figure 3 computation:
+// a closed-loop run under IDV(6) producing the XMEAS(1) trajectory until
+// detection horizon.
+func BenchmarkFig03_Xmeas1Trajectories(b *testing.B) {
+	f := fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run, err := f.lab.Template.NewRun(plant.RunConfig{
+			Seed:     int64(i),
+			IDVs:     []plant.IDVEvent{{Index: 5, StartHour: 0.5}},
+			Decimate: 2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := run.RunHours(2); err != nil {
+			b.Fatal(err)
+		}
+		d := run.Views().Process.Data()
+		if d.RowView(d.Rows() - 1)[te.XmeasAFeed] > 0.05 {
+			b.Fatal("A feed did not collapse under IDV(6)")
+		}
+	}
+}
+
+// benchOMEDA regenerates a Figure 4/5 panel: pooled oMEDA over the first
+// out-of-control observations of a scenario's runs.
+func benchOMEDA(b *testing.B, controller bool) {
+	f := fixture(b)
+	// Pool the diagnosis windows exactly as the scenario runner does.
+	var rows [][]float64
+	for _, out := range f.results["idv6"].Runs {
+		if controller {
+			rows = append(rows, out.FirstOOCCtrl...)
+		} else {
+			rows = append(rows, out.FirstOOCProc...)
+		}
+	}
+	if len(rows) == 0 {
+		b.Fatal("no out-of-control rows pooled")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := f.lab.System.DiagnoseGroup(rows)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(prof) != historian.NumVars {
+			b.Fatal("bad profile")
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "pooled-obs/op")
+}
+
+// BenchmarkFig04_OMEDAController regenerates a Figure 4 panel
+// (controller-view oMEDA).
+func BenchmarkFig04_OMEDAController(b *testing.B) { benchOMEDA(b, true) }
+
+// BenchmarkFig05_OMEDAProcess regenerates a Figure 5 panel (process-view
+// oMEDA).
+func BenchmarkFig05_OMEDAProcess(b *testing.B) { benchOMEDA(b, false) }
+
+// BenchmarkTab_ARL regenerates the §V run-length measurement over a
+// scenario run's controller view.
+func BenchmarkTab_ARL(b *testing.B) {
+	f := fixture(b)
+	view := f.results["xmv3-integrity"].Runs[0]
+	_ = view
+	// Rebuild the rows once (engineering-unit observations).
+	ctrl := f.nocCtrl
+	rows := make([][]float64, ctrl.Rows())
+	for i := range rows {
+		rows[i] = ctrl.RowView(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mspc.MeasureRunLength(f.lab.System.Monitor(), rows, 10, mspc.DefaultRunLength, 9*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FalseAlarm && res.Detected {
+			b.Fatal("inconsistent result")
+		}
+	}
+	b.ReportMetric(float64(len(rows)), "obs/op")
+}
+
+// BenchmarkTab_Verdicts regenerates the §V-A classification: the full
+// two-view analysis of one run.
+func BenchmarkTab_Verdicts(b *testing.B) {
+	f := fixture(b)
+	onsetIdx := int(benchOnset * 3600 / 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := f.lab.System.AnalyzeViews(f.nocCtrl, f.nocProc, onsetIdx, 9*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Verdict != core.VerdictNormal {
+			b.Fatalf("NOC classified as %v", rep.Verdict)
+		}
+	}
+}
+
+// BenchmarkAbl_Components measures the cost of recalibrating the MSPC
+// model at different model orders from a fixed covariance (the ablation
+// sweep's inner loop).
+func BenchmarkAbl_Components(b *testing.B) {
+	f := fixture(b)
+	acc, err := mat.NewCovAccumulator(historian.NumVars)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < f.nocProc.Rows(); i++ {
+		if err := acc.Add(f.nocProc.RowView(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cov, err := acc.Covariance()
+	if err != nil {
+		b.Fatal(err)
+	}
+	means := acc.Means()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := []int{2, 5, 10, 15}[i%4]
+		if _, err := core.CalibrateCov(cov, means, acc.N(), core.Config{Components: a}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAbl_RunRule measures detection with different run-rule lengths
+// over a fixed stream (the ablation sweep's other axis).
+func BenchmarkAbl_RunRule(b *testing.B) {
+	f := fixture(b)
+	rows := make([][]float64, f.nocCtrl.Rows())
+	for i := range rows {
+		rows[i] = f.nocCtrl.RowView(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []int{1, 3, 5}[i%3]
+		if _, err := mspc.MeasureRunLength(f.lab.System.Monitor(), rows, 0, k, 9*time.Second); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+// BenchmarkTEStep measures one closed-loop plant step (process + control +
+// fieldbus + recording).
+func BenchmarkTEStep(b *testing.B) {
+	f := fixture(b)
+	run, err := f.lab.Template.NewRun(plant.RunConfig{Seed: 7, Decimate: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMSPCCompute measures one D/Q statistic evaluation (the per-
+// observation monitoring cost).
+func BenchmarkMSPCCompute(b *testing.B) {
+	f := fixture(b)
+	row := f.nocCtrl.RowView(100)
+	mon := f.lab.System.Monitor()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := mon.Compute(row); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPCAFit measures fitting the 53-variable PCA model from a
+// covariance matrix (the calibration hot spot).
+func BenchmarkPCAFit(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := mat.MustNew(500, historian.NumVars)
+	for i := 0; i < 500; i++ {
+		base := rng.NormFloat64()
+		for j := 0; j < historian.NumVars; j++ {
+			x.Set(i, j, base+0.5*rng.NormFloat64())
+		}
+	}
+	cov, err := mat.Covariance(x)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pca.FitCov(cov, 500, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEigenSym53 measures the Jacobi eigendecomposition at the
+// monitoring problem's size.
+func BenchmarkEigenSym53(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	n := historian.NumVars
+	a := mat.MustNew(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := rng.NormFloat64()
+			a.Set(i, j, v)
+			a.Set(j, i, v)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mat.EigenSym(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFieldbusRoundTrip measures one frame marshal+unmarshal at the
+// XMEAS block size — the per-sample wire cost.
+func BenchmarkFieldbusRoundTrip(b *testing.B) {
+	values := make([]float64, te.NumXMEAS)
+	for i := range values {
+		values[i] = float64(i) * 1.1
+	}
+	f := &fieldbus.Frame{Type: fieldbus.FrameSensor, Seq: 1, Values: values}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := f.Marshal()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := fieldbus.Unmarshal(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOMEDASingleGroup measures one oMEDA diagnosis of a 20-row
+// group.
+func BenchmarkOMEDASingleGroup(b *testing.B) {
+	f := fixture(b)
+	rows := make([][]float64, 20)
+	for i := range rows {
+		rows[i] = f.nocCtrl.RowView(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.lab.System.DiagnoseGroup(rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Command mspctool runs the two-view MSPC pipeline over CSV data produced
+// by tesim (or any 53-column dataset with the historian's header):
+// calibrate on NOC data, monitor a run's controller and process views,
+// print the detection/diagnosis report and optional ASCII charts.
+//
+// Example:
+//
+//	tesim -hours 24 -out noc
+//	tesim -hours 24 -attack integrity:xmv:3:10:0 -out atk
+//	mspctool -cal noc-process.csv -ctrl atk-controller.csv -proc atk-process.csv -onset-hour 10 -sample 4.5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"pcsmon/internal/core"
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/historian"
+	"pcsmon/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mspctool:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mspctool", flag.ContinueOnError)
+	var (
+		calPath    = fs.String("cal", "", "NOC calibration CSV (required)")
+		ctrlPath   = fs.String("ctrl", "", "controller-view CSV to monitor (required)")
+		procPath   = fs.String("proc", "", "process-view CSV to monitor (defaults to -ctrl)")
+		onsetHour  = fs.Float64("onset-hour", 0, "hour the anomaly was injected (for run-length accounting)")
+		sampleSec  = fs.Float64("sample", 4.5, "observation interval of the monitored CSVs [s]")
+		components = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
+		charts     = fs.Bool("charts", false, "print ASCII control charts and oMEDA bars")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *calPath == "" || *ctrlPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-cal and -ctrl are required")
+	}
+	if *procPath == "" {
+		*procPath = *ctrlPath
+	}
+
+	cal, err := readCSV(*calPath)
+	if err != nil {
+		return err
+	}
+	ctrl, err := readCSV(*ctrlPath)
+	if err != nil {
+		return err
+	}
+	proc, err := readCSV(*procPath)
+	if err != nil {
+		return err
+	}
+
+	sys, err := core.Calibrate(cal, core.Config{Components: *components})
+	if err != nil {
+		return err
+	}
+	mon := sys.Monitor()
+	fmt.Printf("calibrated on %d observations: A=%d components, limits D99=%.2f Q99=%.2f\n",
+		cal.Rows(), mon.Model().NComponents(), mon.Limits().D99, mon.Limits().Q99)
+
+	sample := time.Duration(*sampleSec * float64(time.Second))
+	onset := int(*onsetHour * 3600 / *sampleSec)
+	rep, err := sys.AnalyzeViews(ctrl, proc, onset, sample)
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+
+	if *charts {
+		if err := printCharts(sys, ctrl, proc, rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readCSV(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	d, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+func printReport(rep *core.Report) {
+	fmt.Println()
+	fmt.Print(rep.Render())
+}
+
+func printCharts(sys *core.System, ctrl, proc *dataset.Dataset, rep *core.Report) error {
+	d, q, lim, err := sys.ChartSeries(ctrl)
+	if err != nil {
+		return err
+	}
+	chart, err := plot.ASCIIChart("controller view: D statistic", d,
+		map[string]float64{"99%": lim.D99, "95%": lim.D95}, 100, 14)
+	if err != nil {
+		return err
+	}
+	fmt.Println(chart)
+	chart, err = plot.ASCIIChart("controller view: Q statistic", q,
+		map[string]float64{"99%": lim.Q99, "95%": lim.Q95}, 100, 14)
+	if err != nil {
+		return err
+	}
+	fmt.Println(chart)
+
+	for _, v := range []struct {
+		name string
+		va   core.ViewAnalysis
+	}{{"controller", rep.Controller}, {"process", rep.Process}} {
+		if v.va.OMEDA == nil {
+			continue
+		}
+		names, vals := topBars(v.va.OMEDA, 12)
+		bars, err := plot.ASCIIBars("oMEDA ("+v.name+" view, top 12)", names, vals, 61)
+		if err != nil {
+			return err
+		}
+		fmt.Println(bars)
+	}
+	_ = proc
+	return nil
+}
+
+// topBars selects the n largest-|value| variables, in variable order.
+func topBars(vals []float64, n int) ([]string, []float64) {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		va, vb := vals[idx[a]], vals[idx[b]]
+		if va < 0 {
+			va = -va
+		}
+		if vb < 0 {
+			vb = -vb
+		}
+		return va > vb
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	sel := append([]int(nil), idx[:n]...)
+	sort.Ints(sel)
+	names := make([]string, n)
+	out := make([]float64, n)
+	for i, j := range sel {
+		names[i] = historian.VarName(j)
+		out[i] = vals[j]
+	}
+	return names, out
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/historian"
+)
+
+// writeSynthetic writes a CSV of n correlated 53-variable observations,
+// optionally shifting one channel by delta after row shiftFrom (-1 = no
+// shift).
+func writeSynthetic(t *testing.T, path string, seed int64, n, shiftChannel, shiftFrom int, delta float64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	d, err := dataset.New(historian.VarNames())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64()
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			row[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		if shiftFrom >= 0 && i >= shiftFrom {
+			row[shiftChannel] += delta
+		}
+		if err := d.Append(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	if err := d.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMspctoolEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	ctrl := filepath.Join(dir, "ctrl.csv")
+	proc := filepath.Join(dir, "proc.csv")
+	// Same latent loading draw via the same seed, then a divergent shift:
+	// the controller view reads low while the process view stays clean.
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	writeSynthetic(t, ctrl, 3, 300, 0, 150, -25)
+	writeSynthetic(t, proc, 3, 300, 0, 150, +25)
+	err := run([]string{
+		"-cal", cal,
+		"-ctrl", ctrl,
+		"-proc", proc,
+		"-onset-hour", "0.375", // row 150 at 9 s samples
+		"-sample", "9",
+		"-charts",
+	})
+	if err != nil {
+		t.Fatalf("mspctool: %v", err)
+	}
+}
+
+func TestMspctoolRequiresFlags(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+}
+
+func TestMspctoolMissingFile(t *testing.T) {
+	if err := run([]string{"-cal", "/nonexistent.csv", "-ctrl", "/nonexistent.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReproEndToEndTiny runs the whole harness at a minimal scale into a
+// temp directory and checks every artifact family exists and is non-empty.
+func TestReproEndToEndTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := t.TempDir()
+	err := run([]string{
+		"-out", out,
+		"-scale", "fast",
+		"-calruns", "2", "-calhours", "8",
+		"-runs", "2", "-hours", "12", "-onset", "4",
+	})
+	if err != nil {
+		t.Fatalf("repro: %v", err)
+	}
+	wantFiles := []string{
+		"fig1-charts.txt", "fig1-d.svg", "fig1-q.svg",
+		"fig3-xmeas1.txt", "fig3-xmeas1.csv", "fig3a-idv6.svg", "fig3b-xmv3.svg",
+		"fig4-omeda.txt", "fig4a-idv6.svg", "fig4b-xmv3-integrity.csv",
+		"fig5-omeda.txt", "fig5b-xmv3-integrity.svg",
+		"arl.txt", "verdicts.txt", "ablations.txt", "summary.txt",
+	}
+	for _, name := range wantFiles {
+		info, err := os.Stat(filepath.Join(out, name))
+		if err != nil {
+			t.Errorf("missing artifact %s: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("artifact %s is empty", name)
+		}
+	}
+	summary, err := os.ReadFile(filepath.Join(out, "summary.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig1:", "fig3:", "fig4(a)", "fig5(b)", "Average run length", "Classifier verdicts"} {
+		if !strings.Contains(string(summary), want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}
+
+func TestReproRejectsUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic", "-out", t.TempDir()}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestReproOnlySingleFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := t.TempDir()
+	err := run([]string{
+		"-out", out,
+		"-only", "fig1",
+		"-calruns", "2", "-calhours", "8",
+		"-runs", "1", "-hours", "10", "-onset", "4",
+	})
+	if err != nil {
+		t.Fatalf("repro -only fig1: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "fig1-charts.txt")); err != nil {
+		t.Errorf("fig1 artifact missing: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(out, "fig4-omeda.txt")); err == nil {
+		t.Error("fig4 artifact written despite -only fig1")
+	}
+}

@@ -1,0 +1,207 @@
+// Command tesim runs the reduced-order Tennessee-Eastman plant in closed
+// loop — optionally with process disturbances and fieldbus attacks — and
+// writes both data views (controller and process) as CSV.
+//
+// Examples:
+//
+//	tesim -hours 24 -out run                    # NOC run
+//	tesim -hours 24 -idv 6@10 -out idv6         # IDV(6) at hour 10
+//	tesim -hours 24 -attack integrity:xmv:3:10:0 -out atk
+//	tesim -hours 24 -attack dos:xmv:3:10 -out dos
+//
+// Attack syntax: kind:link:channel:start[:value]
+//   - kind:    integrity | dos | bias | scale
+//   - link:    xmv (controller→actuator) | xmeas (sensor→controller)
+//   - channel: 1-based XMV or XMEAS number
+//   - start:   hour the attack begins
+//   - value:   injected constant / offset / factor (kind-dependent)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"pcsmon/internal/attack"
+	"pcsmon/internal/plant"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tesim", flag.ContinueOnError)
+	var (
+		hours    = fs.Float64("hours", 24, "simulation duration [h]")
+		step     = fs.Float64("step", 4.5, "sampling interval [s] (paper: 1.8)")
+		warmup   = fs.Float64("warmup", 60, "closed-loop warmup before the run [h]")
+		seed     = fs.Int64("seed", 1, "random seed")
+		decimate = fs.Int("decimate", 1, "keep one in N samples")
+		out      = fs.String("out", "terun", "output prefix (writes <out>-controller.csv and <out>-process.csv)")
+		idvFlag  = fs.String("idv", "", "disturbances, e.g. \"6@10\" or \"6@10,4@12-20\" (IDV number @ start hour[-end hour])")
+		atkFlag  = fs.String("attack", "", "attacks, comma separated kind:link:channel:start[:value]")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	idvs, err := parseIDVs(*idvFlag)
+	if err != nil {
+		return err
+	}
+	attacks, err := parseAttacks(*atkFlag)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "warming plant up (%.0f h at %.2g s steps)…\n", *warmup, *step)
+	tmpl, err := plant.NewTemplate(plant.Config{StepSeconds: *step, WarmupHours: *warmup})
+	if err != nil {
+		return err
+	}
+	run, err := tmpl.NewRun(plant.RunConfig{
+		Seed:     *seed,
+		IDVs:     idvs,
+		Attacks:  attacks,
+		Decimate: *decimate,
+	})
+	if err != nil {
+		return err
+	}
+	completed, err := run.RunHours(*hours)
+	if err != nil {
+		return err
+	}
+	if completed {
+		fmt.Fprintf(os.Stderr, "run completed: %.2f h\n", run.Hours())
+	} else {
+		fmt.Fprintf(os.Stderr, "PLANT SHUTDOWN at %.2f h: %s\n", run.Hours(), run.ShutdownReason())
+	}
+
+	if err := writeCSV(*out+"-controller.csv", run, true); err != nil {
+		return err
+	}
+	if err := writeCSV(*out+"-process.csv", run, false); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s-controller.csv and %s-process.csv (%d observations)\n",
+		*out, *out, run.Views().Controller.Rows())
+	return nil
+}
+
+func writeCSV(path string, run *plant.Run, controller bool) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	d := run.Views().Process.Data()
+	if controller {
+		d = run.Views().Controller.Data()
+	}
+	if err := d.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// parseIDVs parses "6@10,4@12-20".
+func parseIDVs(s string) ([]plant.IDVEvent, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []plant.IDVEvent
+	for _, part := range strings.Split(s, ",") {
+		num, window, ok := strings.Cut(strings.TrimSpace(part), "@")
+		if !ok {
+			return nil, fmt.Errorf("idv %q: want NUMBER@START[-END]", part)
+		}
+		idv, err := strconv.Atoi(num)
+		if err != nil || idv < 1 || idv > 20 {
+			return nil, fmt.Errorf("idv %q: bad disturbance number", part)
+		}
+		startS, endS, hasEnd := strings.Cut(window, "-")
+		start, err := strconv.ParseFloat(startS, 64)
+		if err != nil {
+			return nil, fmt.Errorf("idv %q: bad start hour", part)
+		}
+		ev := plant.IDVEvent{Index: idv - 1, StartHour: start}
+		if hasEnd {
+			end, err := strconv.ParseFloat(endS, 64)
+			if err != nil {
+				return nil, fmt.Errorf("idv %q: bad end hour", part)
+			}
+			ev.EndHour = end
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}
+
+// parseAttacks parses "integrity:xmv:3:10:0,dos:xmeas:1:12".
+func parseAttacks(s string) ([]attack.Spec, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []attack.Spec
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("attack %q: want kind:link:channel:start[:value]", part)
+		}
+		var spec attack.Spec
+		switch fields[0] {
+		case "integrity":
+			spec.Kind = attack.Integrity
+		case "dos":
+			spec.Kind = attack.DoS
+		case "bias":
+			spec.Kind = attack.Bias
+		case "scale":
+			spec.Kind = attack.Scale
+		default:
+			return nil, fmt.Errorf("attack %q: unknown kind %q", part, fields[0])
+		}
+		switch fields[1] {
+		case "xmv":
+			spec.Direction = attack.ActuatorLink
+		case "xmeas":
+			spec.Direction = attack.SensorLink
+		default:
+			return nil, fmt.Errorf("attack %q: unknown link %q (want xmv or xmeas)", part, fields[1])
+		}
+		ch, err := strconv.Atoi(fields[2])
+		if err != nil || ch < 1 {
+			return nil, fmt.Errorf("attack %q: bad channel", part)
+		}
+		spec.Channel = ch - 1
+		start, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("attack %q: bad start hour", part)
+		}
+		spec.StartHour = start
+		if len(fields) > 4 {
+			v, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("attack %q: bad value", part)
+			}
+			spec.Value = v
+		}
+		if err := spec.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}

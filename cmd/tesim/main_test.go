@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+
+	"pcsmon/internal/attack"
+	"pcsmon/internal/te"
+)
+
+func TestParseIDVs(t *testing.T) {
+	evs, err := parseIDVs("6@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 1 || evs[0].Index != 5 || evs[0].StartHour != 10 || evs[0].EndHour != 0 {
+		t.Errorf("parsed %+v", evs)
+	}
+	evs, err = parseIDVs("6@10, 4@12-20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 2 || evs[1].Index != 3 || evs[1].StartHour != 12 || evs[1].EndHour != 20 {
+		t.Errorf("parsed %+v", evs)
+	}
+	if evs, err := parseIDVs(""); err != nil || evs != nil {
+		t.Errorf("empty spec: %v, %v", evs, err)
+	}
+	for _, bad := range []string{"6", "0@10", "21@10", "x@10", "6@ten", "6@10-abc"} {
+		if _, err := parseIDVs(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+func TestParseAttacks(t *testing.T) {
+	specs, err := parseAttacks("integrity:xmv:3:10:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := attack.Spec{
+		Kind: attack.Integrity, Direction: attack.ActuatorLink,
+		Channel: te.XmvAFeed, StartHour: 10, Value: 0,
+	}
+	if len(specs) != 1 || specs[0] != want {
+		t.Errorf("parsed %+v, want %+v", specs, want)
+	}
+
+	specs, err = parseAttacks("dos:xmeas:1:12, bias:xmeas:9:5:-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("parsed %d specs", len(specs))
+	}
+	if specs[0].Kind != attack.DoS || specs[0].Direction != attack.SensorLink || specs[0].Channel != 0 {
+		t.Errorf("dos spec %+v", specs[0])
+	}
+	if specs[1].Kind != attack.Bias || specs[1].Value != -3 || specs[1].Channel != 8 {
+		t.Errorf("bias spec %+v", specs[1])
+	}
+
+	if specs, err := parseAttacks(""); err != nil || specs != nil {
+		t.Errorf("empty spec: %v, %v", specs, err)
+	}
+	for _, bad := range []string{
+		"integrity:xmv:3",        // missing start
+		"weird:xmv:3:10",         // unknown kind
+		"integrity:link:3:10",    // unknown link
+		"integrity:xmv:zero:10",  // bad channel
+		"integrity:xmv:0:10",     // channel below 1
+		"integrity:xmv:3:ten",    // bad hour
+		"integrity:xmv:3:10:abc", // bad value
+		"scale:xmv:3:-1:2",       // negative start rejected by Validate
+	} {
+		if _, err := parseAttacks(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

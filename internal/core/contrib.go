@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Contributions holds classical MSPC contribution analyses of an
+// observation group: how much each original variable contributes to the
+// group's D (T²) and Q (SPE) statistics. They are the textbook alternative
+// to oMEDA (MacGregor & Kourti 1995) and are provided for comparison;
+// diagnostic conclusions in this package are drawn from oMEDA, as in the
+// paper.
+type Contributions struct {
+	// D is the mean per-variable contribution to Hotelling's T²:
+	// c_j = x_j · Σ_a (t_a/λ_a)·p_{ja}. Contributions sum to the group's
+	// mean T² (they may be individually negative).
+	D []float64
+	// Q is the signed mean per-variable contribution to the SPE:
+	// sign(ē_j)·mean(e_j²). The absolute values sum to the mean SPE.
+	Q []float64
+}
+
+// Contribute computes contribution profiles for a group of observations in
+// engineering units.
+func (s *System) Contribute(rows [][]float64) (*Contributions, error) {
+	if s == nil || s.monitor == nil {
+		return nil, ErrNotCalibrated
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: no observations: %w", ErrBadInput)
+	}
+	model := s.monitor.Model()
+	scaler := s.monitor.Scaler()
+	m := model.NVars()
+	loadings := model.Loadings()
+	eig := model.Eigenvalues()
+
+	dSum := make([]float64, m)
+	qSum := make([]float64, m)
+	eSign := make([]float64, m)
+	for i, r := range rows {
+		x, err := scaler.ApplyRow(r, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: scaling row %d: %w", i, err)
+		}
+		t, err := model.Project(x)
+		if err != nil {
+			return nil, fmt.Errorf("core: projecting row %d: %w", i, err)
+		}
+		// w_j = Σ_a (t_a/λ_a) p_{ja}; D contribution c_j = x_j·w_j.
+		for j := 0; j < m; j++ {
+			var w float64
+			for a := range t {
+				if eig[a] > 1e-12 {
+					w += t[a] / eig[a] * loadings.At(j, a)
+				}
+			}
+			dSum[j] += x[j] * w
+		}
+		res, err := model.Residual(x)
+		if err != nil {
+			return nil, fmt.Errorf("core: residual row %d: %w", i, err)
+		}
+		for j, e := range res {
+			qSum[j] += e * e
+			eSign[j] += e
+		}
+	}
+	n := float64(len(rows))
+	out := &Contributions{D: make([]float64, m), Q: make([]float64, m)}
+	for j := 0; j < m; j++ {
+		out.D[j] = dSum[j] / n
+		q := qSum[j] / n
+		if eSign[j] < 0 {
+			q = -q
+		}
+		out.Q[j] = q
+	}
+	return out, nil
+}
+
+// TopD returns the indices of the largest positive D contributions, in
+// decreasing order, up to n entries.
+func (c *Contributions) TopD(n int) []int { return topPositive(c.D, n) }
+
+// TopQ returns the indices of the largest |Q| contributions, in decreasing
+// order, up to n entries.
+func (c *Contributions) TopQ(n int) []int {
+	idx := make([]int, len(c.Q))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Selection sort on |Q| — n is small.
+	if n > len(idx) {
+		n = len(idx)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for k := i + 1; k < len(idx); k++ {
+			if math.Abs(c.Q[idx[k]]) > math.Abs(c.Q[idx[best]]) {
+				best = k
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:n]
+}
+
+func topPositive(vals []float64, n int) []int {
+	idx := make([]int, len(vals))
+	for i := range idx {
+		idx[i] = i
+	}
+	if n > len(idx) {
+		n = len(idx)
+	}
+	for i := 0; i < n; i++ {
+		best := i
+		for k := i + 1; k < len(idx); k++ {
+			if vals[idx[k]] > vals[idx[best]] {
+				best = k
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:n]
+}

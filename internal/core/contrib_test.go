@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"pcsmon/internal/te"
+)
+
+func TestContributeIdentifiesShiftedVariable(t *testing.T) {
+	f := newSynthFixture(t, 201)
+	shift := map[int]float64{te.XmeasAFeed: -10}
+	_, pd := f.viewsWithShift(t, 0, 30, shift, shift)
+	rows := make([][]float64, pd.Rows())
+	for i := range rows {
+		rows[i] = pd.RowView(i)
+	}
+	contrib, err := f.sys.Contribute(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The shifted variable should lead at least one of the two profiles
+	// (which one depends on how much of the shift the model captures).
+	topD := contrib.TopD(3)
+	topQ := contrib.TopQ(3)
+	leads := false
+	for _, j := range []int{topD[0], topQ[0]} {
+		if j == te.XmeasAFeed {
+			leads = true
+		}
+	}
+	if !leads {
+		t.Errorf("shifted variable not leading: topD=%v topQ=%v", topD, topQ)
+	}
+	// Q contribution of the shifted variable carries the deviation's sign
+	// when the residual is negative.
+	if contrib.Q[te.XmeasAFeed] > 0 {
+		t.Logf("note: Q contribution positive (%g) — residual sign flipped by the model", contrib.Q[te.XmeasAFeed])
+	}
+}
+
+func TestContributeSumsMatchStatistics(t *testing.T) {
+	f := newSynthFixture(t, 202)
+	_, pd := f.viewsWithShift(t, 0, 25, map[int]float64{3: 6}, map[int]float64{3: 6})
+	rows := make([][]float64, pd.Rows())
+	for i := range rows {
+		rows[i] = pd.RowView(i)
+	}
+	contrib, err := f.sys.Contribute(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean T² and SPE computed directly.
+	var meanD, meanQ float64
+	for _, r := range rows {
+		st, err := f.sys.Monitor().Compute(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanD += st.D
+		meanQ += st.Q
+	}
+	meanD /= float64(len(rows))
+	meanQ /= float64(len(rows))
+
+	var sumD, sumQ float64
+	for j := range contrib.D {
+		sumD += contrib.D[j]
+		sumQ += math.Abs(contrib.Q[j])
+	}
+	if math.Abs(sumD-meanD) > 1e-6*math.Max(1, meanD) {
+		t.Errorf("ΣD contributions = %g, mean T² = %g", sumD, meanD)
+	}
+	if math.Abs(sumQ-meanQ) > 1e-6*math.Max(1, meanQ) {
+		t.Errorf("Σ|Q| contributions = %g, mean SPE = %g", sumQ, meanQ)
+	}
+}
+
+func TestContributeAgreesWithOMEDAOnTopVariable(t *testing.T) {
+	// For a large single-variable shift, the classical contributions and
+	// oMEDA should implicate the same variable.
+	f := newSynthFixture(t, 203)
+	const shifted = 7
+	shift := map[int]float64{shifted: -14}
+	_, pd := f.viewsWithShift(t, 0, 30, shift, shift)
+	rows := make([][]float64, pd.Rows())
+	for i := range rows {
+		rows[i] = pd.RowView(i)
+	}
+	contrib, err := f.sys.Contribute(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := f.sys.DiagnoseGroup(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	omedaTop, bestAbs := -1, 0.0
+	for j, v := range prof {
+		if math.Abs(v) > bestAbs {
+			bestAbs = math.Abs(v)
+			omedaTop = j
+		}
+	}
+	if omedaTop != shifted {
+		t.Fatalf("oMEDA top = %d, want %d", omedaTop, shifted)
+	}
+	// One of the contribution charts must agree.
+	if contrib.TopD(1)[0] != shifted && contrib.TopQ(1)[0] != shifted {
+		t.Errorf("contributions disagree with oMEDA: topD=%d topQ=%d want %d",
+			contrib.TopD(1)[0], contrib.TopQ(1)[0], shifted)
+	}
+}
+
+func TestContributeValidation(t *testing.T) {
+	var unset System
+	if _, err := unset.Contribute([][]float64{{1}}); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("want ErrNotCalibrated, got %v", err)
+	}
+	f := newSynthFixture(t, 204)
+	if _, err := f.sys.Contribute(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("want ErrBadInput, got %v", err)
+	}
+}
+
+func TestTopHelpersBounded(t *testing.T) {
+	c := &Contributions{D: []float64{3, 1, 2}, Q: []float64{-5, 4, 0}}
+	if got := c.TopD(2); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("TopD = %v", got)
+	}
+	if got := c.TopQ(2); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("TopQ = %v", got)
+	}
+	if got := c.TopD(99); len(got) != 3 {
+		t.Errorf("TopD(99) len = %d", len(got))
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	f := newSynthFixture(t, 205)
+	cd, pd := f.viewsWithShift(t, 100, 40,
+		map[int]float64{te.XmeasAFeed: -12},
+		map[int]float64{te.XmeasAFeed: +12})
+	rep, err := f.sys.AnalyzeViews(cd, pd, 100, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Render()
+	for _, want := range []string{"VERDICT: integrity-attack", "localized channel: XMEAS(1)", "controller view", "process view", "implicated:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q in:\n%s", want, out)
+		}
+	}
+	// A no-detection report renders too.
+	cd2, pd2 := f.viewsWithShift(t, 60, 0, nil, nil)
+	rep2, err := f.sys.AnalyzeViews(cd2, pd2, 0, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep2.Render(), "no detection") {
+		t.Error("NOC report should say 'no detection'")
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pcsmon/internal/historian"
+)
+
+// Render formats the report as a multi-line, human-readable block — the
+// text the command-line tools print and the examples show.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VERDICT: %s\n", r.Verdict)
+	if r.AttackedVar >= 0 {
+		fmt.Fprintf(&b, "localized channel: %s\n", historian.VarName(r.AttackedVar))
+	}
+	fmt.Fprintf(&b, "rationale: %s\n", r.Explanation)
+	for _, v := range []struct {
+		name string
+		va   ViewAnalysis
+	}{{"controller view", r.Controller}, {"process view", r.Process}} {
+		if !v.va.Detected {
+			fmt.Fprintf(&b, "%-16s no detection\n", v.name)
+			continue
+		}
+		fmt.Fprintf(&b, "%-16s detected at obs %d (run length %d obs, %v) charts=%v dominance=%.1f\n",
+			v.name, v.va.DetectionIndex, v.va.RunLengthSamples, v.va.Time, v.va.Charts, v.va.Dominance)
+		tops := v.va.Top
+		if len(tops) > 5 {
+			tops = tops[:5]
+		}
+		if len(tops) > 0 {
+			fmt.Fprintf(&b, "%-16s implicated:", "")
+			for _, j := range tops {
+				fmt.Fprintf(&b, " %s(%+.3g)", historian.VarName(j), v.va.OMEDA[j])
+			}
+			fmt.Fprintln(&b)
+		}
+	}
+	if len(r.FrozenProc) > 0 {
+		fmt.Fprintf(&b, "frozen process-side channels: %s\n", varList(r.FrozenProc))
+	}
+	if len(r.FrozenCtrl) > 0 {
+		fmt.Fprintf(&b, "frozen controller-side channels: %s\n", varList(r.FrozenCtrl))
+	}
+	if len(r.Diverged) > 0 {
+		fmt.Fprintf(&b, "diverging channels: %s\n", varList(r.Diverged))
+	}
+	return b.String()
+}
+
+func varList(cols []int) string {
+	names := make([]string, len(cols))
+	for i, j := range cols {
+		names[i] = historian.VarName(j)
+	}
+	return strings.Join(names, " ")
+}

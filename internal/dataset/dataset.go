@@ -1,0 +1,166 @@
+// Package dataset provides the named-column observation container shared by
+// the historian, the MSPC pipeline and the CSV tooling: an append-only
+// N×M table with variable names, convertible to the mat.Matrix the models
+// consume.
+package dataset
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"pcsmon/internal/mat"
+)
+
+// Package-level sentinel errors.
+var (
+	// ErrBadInput is returned for malformed rows or headers.
+	ErrBadInput = errors.New("dataset: invalid input")
+	// ErrEmpty is returned when an operation needs observations.
+	ErrEmpty = errors.New("dataset: empty dataset")
+)
+
+// Dataset is an append-only table of float64 observations with named
+// columns.
+type Dataset struct {
+	names []string
+	rows  [][]float64
+}
+
+// New returns an empty dataset with the given column names.
+func New(names []string) (*Dataset, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dataset: no columns: %w", ErrBadInput)
+	}
+	return &Dataset{names: append([]string(nil), names...)}, nil
+}
+
+// Names returns a copy of the column names.
+func (d *Dataset) Names() []string {
+	return append([]string(nil), d.names...)
+}
+
+// Cols returns the number of columns.
+func (d *Dataset) Cols() int { return len(d.names) }
+
+// Rows returns the number of observations.
+func (d *Dataset) Rows() int { return len(d.rows) }
+
+// Append adds one observation. The row is copied.
+func (d *Dataset) Append(row []float64) error {
+	if len(row) != len(d.names) {
+		return fmt.Errorf("dataset: row len %d != cols %d: %w", len(row), len(d.names), ErrBadInput)
+	}
+	d.rows = append(d.rows, append([]float64(nil), row...))
+	return nil
+}
+
+// Row returns a copy of observation i. It panics when out of range, like a
+// slice access.
+func (d *Dataset) Row(i int) []float64 {
+	return append([]float64(nil), d.rows[i]...)
+}
+
+// RowView returns observation i without copying; the caller must not
+// mutate it.
+func (d *Dataset) RowView(i int) []float64 { return d.rows[i] }
+
+// Matrix converts the dataset to a dense matrix (copying the data).
+func (d *Dataset) Matrix() (*mat.Matrix, error) {
+	if len(d.rows) == 0 {
+		return nil, ErrEmpty
+	}
+	return mat.FromRows(d.rows)
+}
+
+// Slice returns a new dataset containing rows [from, to).
+func (d *Dataset) Slice(from, to int) (*Dataset, error) {
+	if from < 0 || to > len(d.rows) || from > to {
+		return nil, fmt.Errorf("dataset: slice [%d,%d) of %d rows: %w", from, to, len(d.rows), ErrBadInput)
+	}
+	out := &Dataset{names: d.names}
+	out.rows = make([][]float64, 0, to-from)
+	for i := from; i < to; i++ {
+		out.rows = append(out.rows, append([]float64(nil), d.rows[i]...))
+	}
+	return out, nil
+}
+
+// Col returns a copy of the named column's values.
+func (d *Dataset) Col(name string) ([]float64, error) {
+	idx := -1
+	for j, n := range d.names {
+		if n == name {
+			idx = j
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("dataset: unknown column %q: %w", name, ErrBadInput)
+	}
+	out := make([]float64, len(d.rows))
+	for i, r := range d.rows {
+		out[i] = r[idx]
+	}
+	return out, nil
+}
+
+// WriteCSV writes the dataset with a header row.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(d.names); err != nil {
+		return fmt.Errorf("dataset: write header: %w", err)
+	}
+	rec := make([]string, len(d.names))
+	for _, row := range d.rows {
+		for j, v := range row {
+			rec[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dataset: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dataset: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a dataset written by WriteCSV (header + numeric rows).
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: read header: %w", err)
+	}
+	d, err := New(header)
+	if err != nil {
+		return nil, err
+	}
+	row := make([]float64, len(header))
+	for line := 2; ; line++ {
+		rec, err := cr.Read()
+		if errors.Is(err, io.EOF) {
+			return d, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read line %d: %w", line, err)
+		}
+		if len(rec) != len(header) {
+			return nil, fmt.Errorf("dataset: line %d has %d fields, want %d: %w", line, len(rec), len(header), ErrBadInput)
+		}
+		for j, s := range rec {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d field %d %q: %w", line, j+1, s, ErrBadInput)
+			}
+			row[j] = v
+		}
+		if err := d.Append(row); err != nil {
+			return nil, err
+		}
+	}
+}

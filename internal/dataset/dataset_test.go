@@ -1,0 +1,212 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no columns: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestAppendAndAccessors(t *testing.T) {
+	d, err := New([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append([]float64{3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 2 || d.Cols() != 2 {
+		t.Fatalf("dims %dx%d", d.Rows(), d.Cols())
+	}
+	if err := d.Append([]float64{1}); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short row: want ErrBadInput, got %v", err)
+	}
+	row := d.Row(1)
+	row[0] = 99
+	if d.RowView(1)[0] != 3 {
+		t.Error("Row returned aliasing slice")
+	}
+	col, err := d.Col("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0] != 2 || col[1] != 4 {
+		t.Errorf("Col(b) = %v", col)
+	}
+	if _, err := d.Col("zzz"); !errors.Is(err, ErrBadInput) {
+		t.Errorf("unknown col: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestAppendCopiesRow(t *testing.T) {
+	d, _ := New([]string{"a"})
+	src := []float64{7}
+	if err := d.Append(src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 99
+	if d.RowView(0)[0] != 7 {
+		t.Error("Append aliased caller slice")
+	}
+}
+
+func TestNamesCopied(t *testing.T) {
+	names := []string{"a", "b"}
+	d, _ := New(names)
+	names[0] = "zzz"
+	if d.Names()[0] != "a" {
+		t.Error("New aliased names slice")
+	}
+	got := d.Names()
+	got[1] = "zzz"
+	if d.Names()[1] != "b" {
+		t.Error("Names returned aliasing slice")
+	}
+}
+
+func TestMatrixConversion(t *testing.T) {
+	d, _ := New([]string{"a", "b"})
+	if _, err := d.Matrix(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: want ErrEmpty, got %v", err)
+	}
+	_ = d.Append([]float64{1, 2})
+	_ = d.Append([]float64{3, 4})
+	m, err := d.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(1, 1) != 4 {
+		t.Errorf("matrix(1,1) = %g", m.At(1, 1))
+	}
+}
+
+func TestSlice(t *testing.T) {
+	d, _ := New([]string{"a"})
+	for i := 0; i < 10; i++ {
+		_ = d.Append([]float64{float64(i)})
+	}
+	s, err := d.Slice(3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rows() != 3 || s.RowView(0)[0] != 3 || s.RowView(2)[0] != 5 {
+		t.Errorf("slice contents wrong")
+	}
+	// Slice is a copy.
+	s.RowView(0)[0] = 99
+	if d.RowView(3)[0] != 3 {
+		t.Error("Slice aliased parent")
+	}
+	if _, err := d.Slice(6, 3); !errors.Is(err, ErrBadInput) {
+		t.Errorf("inverted: want ErrBadInput, got %v", err)
+	}
+	if _, err := d.Slice(0, 99); !errors.Is(err, ErrBadInput) {
+		t.Errorf("overflow: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d, _ := New([]string{"x", "y", "z"})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		_ = d.Append([]float64{rng.NormFloat64() * 1e6, rng.Float64(), float64(i)})
+	}
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Rows() != d.Rows() || back.Cols() != d.Cols() {
+		t.Fatalf("dims %dx%d vs %dx%d", back.Rows(), back.Cols(), d.Rows(), d.Cols())
+	}
+	for i := 0; i < d.Rows(); i++ {
+		for j := 0; j < d.Cols(); j++ {
+			if d.RowView(i)[j] != back.RowView(i)[j] {
+				t.Fatalf("(%d,%d): %g vs %g", i, j, d.RowView(i)[j], back.RowView(i)[j])
+			}
+		}
+	}
+	if back.Names()[2] != "z" {
+		t.Error("names lost in round trip")
+	}
+}
+
+func TestCSVRoundTripProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(2))}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 1 + rng.Intn(5)
+		names := make([]string, cols)
+		for j := range names {
+			names[j] = string(rune('a' + j))
+		}
+		d, err := New(names)
+		if err != nil {
+			return false
+		}
+		rows := rng.Intn(30)
+		for i := 0; i < rows; i++ {
+			row := make([]float64, cols)
+			for j := range row {
+				row[j] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(8)-4))
+			}
+			if err := d.Append(row); err != nil {
+				return false
+			}
+		}
+		var buf bytes.Buffer
+		if err := d.WriteCSV(&buf); err != nil {
+			return false
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Rows() != rows {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if d.RowView(i)[j] != back.RowView(i)[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,notanumber\n")); !errors.Is(err, ErrBadInput) {
+		t.Errorf("bad number: want ErrBadInput, got %v", err)
+	}
+	// Header-only file is a valid empty dataset.
+	d, err := ReadCSV(strings.NewReader("a,b\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows() != 0 || d.Cols() != 2 {
+		t.Errorf("header-only: %dx%d", d.Rows(), d.Cols())
+	}
+}

@@ -1,0 +1,140 @@
+// Package fieldbus implements the insecure industrial fieldbus the paper's
+// threat model assumes: a legacy, unauthenticated frame protocol carrying
+// sensor blocks (XMEAS) from the process to the controllers and actuator
+// blocks (XMV) back. Because frames carry no authentication, a
+// man-in-the-middle can rewrite values in transit — exactly the adversary
+// of Krotofil et al. that the attack package models.
+//
+// Three building blocks are provided: a binary frame codec with CRC-32
+// integrity (against *accidental* corruption only — by design it offers no
+// protection against an active attacker, who simply recomputes it), an
+// in-memory Link with tap points, and a TCP transport with a MitM proxy for
+// the live demo.
+package fieldbus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Package-level sentinel errors.
+var (
+	// ErrFrameTooShort is returned when decoding truncated data.
+	ErrFrameTooShort = errors.New("fieldbus: frame too short")
+	// ErrBadMagic is returned when the frame preamble is wrong.
+	ErrBadMagic = errors.New("fieldbus: bad magic")
+	// ErrBadCRC is returned when the integrity check fails.
+	ErrBadCRC = errors.New("fieldbus: CRC mismatch")
+	// ErrBadFrame is returned for other malformed frames.
+	ErrBadFrame = errors.New("fieldbus: malformed frame")
+	// ErrClosed is returned when operating on a closed link.
+	ErrClosed = errors.New("fieldbus: link closed")
+)
+
+// FrameType discriminates the two payload directions.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FrameSensor carries an XMEAS block, process → controller.
+	FrameSensor FrameType = iota + 1
+	// FrameActuator carries an XMV block, controller → process.
+	FrameActuator
+)
+
+// String implements fmt.Stringer.
+func (t FrameType) String() string {
+	switch t {
+	case FrameSensor:
+		return "sensor"
+	case FrameActuator:
+		return "actuator"
+	default:
+		return fmt.Sprintf("FrameType(%d)", int(t))
+	}
+}
+
+const (
+	frameMagic  = 0xC5A3
+	headerBytes = 2 + 1 + 1 + 8 + 2 // magic, type, unit, seq, count
+	crcBytes    = 4
+	// MaxValues bounds the payload, comfortably above the 41 XMEAS block.
+	MaxValues = 256
+)
+
+// Frame is one fieldbus datagram: a block of float64 process values with a
+// sequence number and source unit id.
+type Frame struct {
+	Type   FrameType
+	Unit   uint8
+	Seq    uint64
+	Values []float64
+}
+
+// Marshal encodes the frame with its CRC-32 trailer.
+func (f *Frame) Marshal() ([]byte, error) {
+	if f.Type != FrameSensor && f.Type != FrameActuator {
+		return nil, fmt.Errorf("fieldbus: marshal type %d: %w", int(f.Type), ErrBadFrame)
+	}
+	if len(f.Values) == 0 || len(f.Values) > MaxValues {
+		return nil, fmt.Errorf("fieldbus: marshal %d values: %w", len(f.Values), ErrBadFrame)
+	}
+	buf := make([]byte, headerBytes+8*len(f.Values)+crcBytes)
+	binary.BigEndian.PutUint16(buf[0:], frameMagic)
+	buf[2] = byte(f.Type)
+	buf[3] = f.Unit
+	binary.BigEndian.PutUint64(buf[4:], f.Seq)
+	binary.BigEndian.PutUint16(buf[12:], uint16(len(f.Values)))
+	off := headerBytes
+	for _, v := range f.Values {
+		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	crc := crc32.ChecksumIEEE(buf[:off])
+	binary.BigEndian.PutUint32(buf[off:], crc)
+	return buf, nil
+}
+
+// Unmarshal decodes a frame, verifying magic and CRC.
+func Unmarshal(data []byte) (*Frame, error) {
+	if len(data) < headerBytes+crcBytes {
+		return nil, fmt.Errorf("fieldbus: %d bytes: %w", len(data), ErrFrameTooShort)
+	}
+	if binary.BigEndian.Uint16(data[0:]) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	count := int(binary.BigEndian.Uint16(data[12:]))
+	if count == 0 || count > MaxValues {
+		return nil, fmt.Errorf("fieldbus: count %d: %w", count, ErrBadFrame)
+	}
+	want := headerBytes + 8*count + crcBytes
+	if len(data) < want {
+		return nil, fmt.Errorf("fieldbus: need %d bytes, have %d: %w", want, len(data), ErrFrameTooShort)
+	}
+	body := data[:want-crcBytes]
+	crc := binary.BigEndian.Uint32(data[want-crcBytes:])
+	if crc32.ChecksumIEEE(body) != crc {
+		return nil, ErrBadCRC
+	}
+	f := &Frame{
+		Type:   FrameType(data[2]),
+		Unit:   data[3],
+		Seq:    binary.BigEndian.Uint64(data[4:]),
+		Values: make([]float64, count),
+	}
+	if f.Type != FrameSensor && f.Type != FrameActuator {
+		return nil, fmt.Errorf("fieldbus: type %d: %w", data[2], ErrBadFrame)
+	}
+	off := headerBytes
+	for i := 0; i < count; i++ {
+		f.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(body[off:]))
+		off += 8
+	}
+	return f, nil
+}
+
+// EncodedSize returns the wire size of a frame carrying n values.
+func EncodedSize(n int) int { return headerBytes + 8*n + crcBytes }

@@ -1,0 +1,135 @@
+package fieldbus
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Tap is a frame-rewriting hook — the man-in-the-middle position. It
+// receives each frame after decode and may mutate its values. A nil Tap
+// passes traffic through untouched.
+type Tap func(*Frame)
+
+// Link is an in-memory, bidirectional fieldbus segment with MitM tap points
+// on both directions. It models the insecure wire between the process I/O
+// and the controllers without the overhead of real sockets (the TCP
+// transport in tcp.go serves the live demo).
+//
+// Link is safe for concurrent use.
+type Link struct {
+	mu          sync.Mutex
+	sensorTap   Tap
+	actuatorTap Tap
+	sensorSeq   uint64
+	actuatorSeq uint64
+	closed      bool
+
+	// Last delivered blocks (what each end most recently received).
+	lastSensor   []float64
+	lastActuator []float64
+}
+
+// NewLink returns an open link with no taps installed.
+func NewLink() *Link { return &Link{} }
+
+// SetSensorTap installs (or clears, with nil) the MitM hook on the
+// process→controller direction.
+func (l *Link) SetSensorTap(t Tap) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sensorTap = t
+}
+
+// SetActuatorTap installs (or clears) the MitM hook on the
+// controller→process direction.
+func (l *Link) SetActuatorTap(t Tap) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.actuatorTap = t
+}
+
+// SendSensors transmits an XMEAS block from the process side and returns
+// the block as received by the controller side (after any tap). The
+// returned slice is owned by the caller.
+func (l *Link) SendSensors(values []float64) ([]float64, error) {
+	return l.send(FrameSensor, values)
+}
+
+// SendActuators transmits an XMV block from the controller side and
+// returns the block as received by the process side (after any tap).
+func (l *Link) SendActuators(values []float64) ([]float64, error) {
+	return l.send(FrameActuator, values)
+}
+
+func (l *Link) send(t FrameType, values []float64) ([]float64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil, ErrClosed
+	}
+	if len(values) == 0 || len(values) > MaxValues {
+		return nil, fmt.Errorf("fieldbus: send %d values: %w", len(values), ErrBadFrame)
+	}
+	f := &Frame{Type: t, Values: append([]float64(nil), values...)}
+	var tap Tap
+	switch t {
+	case FrameSensor:
+		l.sensorSeq++
+		f.Seq = l.sensorSeq
+		tap = l.sensorTap
+	case FrameActuator:
+		l.actuatorSeq++
+		f.Seq = l.actuatorSeq
+		tap = l.actuatorTap
+	}
+	// Round-trip through the codec: the tap sees exactly what a network
+	// attacker would see, and codec bugs cannot hide in the in-memory path.
+	wire, err := f.Marshal()
+	if err != nil {
+		return nil, err
+	}
+	recv, err := Unmarshal(wire)
+	if err != nil {
+		return nil, err
+	}
+	if tap != nil {
+		tap(recv)
+	}
+	out := append([]float64(nil), recv.Values...)
+	switch t {
+	case FrameSensor:
+		l.lastSensor = out
+	case FrameActuator:
+		l.lastActuator = out
+	}
+	return append([]float64(nil), out...), nil
+}
+
+// LastSensor returns a copy of the sensor block most recently delivered to
+// the controller side (nil before the first transmission).
+func (l *Link) LastSensor() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastSensor == nil {
+		return nil
+	}
+	return append([]float64(nil), l.lastSensor...)
+}
+
+// LastActuator returns a copy of the actuator block most recently delivered
+// to the process side.
+func (l *Link) LastActuator() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.lastActuator == nil {
+		return nil
+	}
+	return append([]float64(nil), l.lastActuator...)
+}
+
+// Close shuts the link; subsequent sends fail with ErrClosed.
+func (l *Link) Close() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+}

@@ -1,0 +1,303 @@
+package fieldbus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Wire format over TCP: each frame is length-prefixed with a big-endian
+// uint32, followed by the Marshal()ed frame bytes.
+
+// WriteFrame writes one length-prefixed frame to w.
+func WriteFrame(w io.Writer, f *Frame) error {
+	data, err := f.Marshal()
+	if err != nil {
+		return err
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("fieldbus: write length: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("fieldbus: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) (*Frame, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, fmt.Errorf("fieldbus: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n == 0 || n > uint32(EncodedSize(MaxValues)) {
+		return nil, fmt.Errorf("fieldbus: frame length %d: %w", n, ErrBadFrame)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return nil, fmt.Errorf("fieldbus: read frame: %w", err)
+	}
+	return Unmarshal(data)
+}
+
+// Server accepts fieldbus connections and dispatches received frames to a
+// handler. Use it as the controller-side endpoint of the live demo.
+type Server struct {
+	ln      net.Listener
+	handler func(*Frame)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer listens on addr (e.g. "127.0.0.1:0") and calls handler for
+// every valid frame received on any connection. Malformed frames close the
+// offending connection.
+func NewServer(addr string, handler func(*Frame)) (*Server, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("fieldbus: nil handler: %w", ErrBadFrame)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fieldbus: listen: %w", err)
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	br := bufio.NewReader(conn)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		s.handler(f)
+	}
+}
+
+// Close stops the listener, closes all connections and waits for the
+// serving goroutines to exit.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client is a frame sender over a TCP connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+// Dial connects to a fieldbus server (or a MitM proxy posing as one).
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fieldbus: dial: %w", err)
+	}
+	return &Client{conn: conn, bw: bufio.NewWriter(conn)}, nil
+}
+
+// Send transmits one frame.
+func (c *Client) Send(f *Frame) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := WriteFrame(c.bw, f); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// MitMProxy is a transparent TCP proxy that decodes every frame, passes it
+// through a Tap, and forwards the (possibly rewritten) frame upstream — the
+// concrete realization of the paper's Figure 2 attacker. A Drop predicate
+// (SetDrop) additionally lets the attacker discard selected frames — the
+// frame-level denial of service.
+type MitMProxy struct {
+	ln       net.Listener
+	upstream string
+	tap      Tap
+
+	mu      sync.Mutex
+	drop    func(*Frame) bool
+	dropped uint64
+	closed  bool
+	conns   map[net.Conn]struct{}
+	wg      sync.WaitGroup
+}
+
+// NewMitMProxy listens on addr and forwards frames to upstream, applying
+// tap to each. A nil tap forwards unchanged.
+func NewMitMProxy(addr, upstream string, tap Tap) (*MitMProxy, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fieldbus: proxy listen: %w", err)
+	}
+	p := &MitMProxy{ln: ln, upstream: upstream, tap: tap, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address.
+func (p *MitMProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDrop installs (or clears, with nil) a predicate; frames for which it
+// returns true are silently discarded instead of forwarded.
+func (p *MitMProxy) SetDrop(drop func(*Frame) bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.drop = drop
+}
+
+// Dropped returns the number of frames discarded so far.
+func (p *MitMProxy) Dropped() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dropped
+}
+
+func (p *MitMProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.proxyConn(conn)
+	}
+}
+
+func (p *MitMProxy) proxyConn(down net.Conn) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, down)
+		p.mu.Unlock()
+		_ = down.Close()
+	}()
+	up, err := net.Dial("tcp", p.upstream)
+	if err != nil {
+		return
+	}
+	defer func() { _ = up.Close() }()
+	br := bufio.NewReader(down)
+	bw := bufio.NewWriter(up)
+	for {
+		f, err := ReadFrame(br)
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		drop := p.drop
+		p.mu.Unlock()
+		if drop != nil && drop(f) {
+			p.mu.Lock()
+			p.dropped++
+			p.mu.Unlock()
+			continue
+		}
+		if p.tap != nil {
+			p.tap(f)
+		}
+		if err := WriteFrame(bw, f); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the proxy and waits for its goroutines.
+func (p *MitMProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	err := p.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	p.wg.Wait()
+	return err
+}

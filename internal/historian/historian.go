@@ -1,0 +1,160 @@
+// Package historian records the two views of plant data the paper's
+// diagnosis compares:
+//
+//   - the controller view — the XMEAS values the controllers received and
+//     the XMV values they sent (forgeable by a MitM), and
+//   - the process view — the XMEAS values the sensors actually produced
+//     and the XMV values the actuators actually received.
+//
+// In an attack-free run the two views are identical; under an integrity or
+// DoS attack they diverge, and that divergence is what localizes the
+// attacked channel.
+//
+// Observations are the 53-variable vector [XMEAS(1..41), XMV(1..12)],
+// sampled every recording interval.
+package historian
+
+import (
+	"errors"
+	"fmt"
+
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/te"
+)
+
+// Package-level sentinel errors.
+var (
+	// ErrBadInput is returned for malformed samples.
+	ErrBadInput = errors.New("historian: invalid input")
+)
+
+// NumVars is the width of a recorded observation: 41 XMEAS + 12 XMV.
+const NumVars = te.NumXMEAS + te.NumXMV
+
+// VarNames returns the 53 canonical variable names, XMEAS(1..41) then
+// XMV(1..12).
+func VarNames() []string {
+	names := make([]string, 0, NumVars)
+	names = append(names, te.XMEASNames[:]...)
+	names = append(names, te.XMVNames[:]...)
+	return names
+}
+
+// VarName returns the canonical name of observation column j.
+func VarName(j int) string {
+	names := VarNames()
+	if j < 0 || j >= len(names) {
+		return fmt.Sprintf("var(%d)", j)
+	}
+	return names[j]
+}
+
+// IsXMV reports whether observation column j is a manipulated variable.
+func IsXMV(j int) bool { return j >= te.NumXMEAS && j < NumVars }
+
+// XMVIndex returns the 0-based XMV index of observation column j, or -1.
+func XMVIndex(j int) int {
+	if !IsXMV(j) {
+		return -1
+	}
+	return j - te.NumXMEAS
+}
+
+// XMEASIndex returns the 0-based XMEAS index of observation column j, or
+// -1.
+func XMEASIndex(j int) int {
+	if j < 0 || j >= te.NumXMEAS {
+		return -1
+	}
+	return j
+}
+
+// Observation assembles the 53-variable observation vector from an XMEAS
+// block and an XMV block.
+func Observation(xmeas, xmv []float64) ([]float64, error) {
+	if len(xmeas) != te.NumXMEAS {
+		return nil, fmt.Errorf("historian: xmeas len %d != %d: %w", len(xmeas), te.NumXMEAS, ErrBadInput)
+	}
+	if len(xmv) != te.NumXMV {
+		return nil, fmt.Errorf("historian: xmv len %d != %d: %w", len(xmv), te.NumXMV, ErrBadInput)
+	}
+	row := make([]float64, 0, NumVars)
+	row = append(row, xmeas...)
+	row = append(row, xmv...)
+	return row, nil
+}
+
+// Recorder accumulates observations of one view, optionally downsampling
+// (keep one of every Decimate samples).
+type Recorder struct {
+	data     *dataset.Dataset
+	decimate int
+	seen     int
+}
+
+// NewRecorder returns a recorder keeping one of every decimate samples
+// (decimate ≤ 1 keeps everything).
+func NewRecorder(decimate int) (*Recorder, error) {
+	if decimate < 1 {
+		decimate = 1
+	}
+	d, err := dataset.New(VarNames())
+	if err != nil {
+		return nil, fmt.Errorf("historian: %w", err)
+	}
+	return &Recorder{data: d, decimate: decimate}, nil
+}
+
+// Record stores one observation assembled from the given blocks, honouring
+// the decimation setting.
+func (r *Recorder) Record(xmeas, xmv []float64) error {
+	r.seen++
+	if (r.seen-1)%r.decimate != 0 {
+		return nil
+	}
+	row, err := Observation(xmeas, xmv)
+	if err != nil {
+		return err
+	}
+	return r.data.Append(row)
+}
+
+// Rows returns the number of retained observations.
+func (r *Recorder) Rows() int { return r.data.Rows() }
+
+// Data returns the underlying dataset (shared, not a copy — the recorder
+// should not be used after handing its data to analysis).
+func (r *Recorder) Data() *dataset.Dataset { return r.data }
+
+// TwoView couples the controller-view and process-view recorders of one
+// run.
+type TwoView struct {
+	Controller *Recorder
+	Process    *Recorder
+}
+
+// NewTwoView builds both recorders with a shared decimation factor.
+func NewTwoView(decimate int) (*TwoView, error) {
+	c, err := NewRecorder(decimate)
+	if err != nil {
+		return nil, err
+	}
+	p, err := NewRecorder(decimate)
+	if err != nil {
+		return nil, err
+	}
+	return &TwoView{Controller: c, Process: p}, nil
+}
+
+// Record stores one sample into both views.
+//
+//   - ctrlXMEAS: what the controller received (possibly forged)
+//   - ctrlXMV:   what the controller sent
+//   - procXMEAS: what the sensors actually measured
+//   - procXMV:   what the actuators actually received (possibly forged)
+func (tv *TwoView) Record(ctrlXMEAS, ctrlXMV, procXMEAS, procXMV []float64) error {
+	if err := tv.Controller.Record(ctrlXMEAS, ctrlXMV); err != nil {
+		return err
+	}
+	return tv.Process.Record(procXMEAS, procXMV)
+}

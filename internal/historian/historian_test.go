@@ -1,0 +1,125 @@
+package historian
+
+import (
+	"errors"
+	"testing"
+
+	"pcsmon/internal/te"
+)
+
+func TestVarNames(t *testing.T) {
+	names := VarNames()
+	if len(names) != NumVars {
+		t.Fatalf("got %d names, want %d", len(names), NumVars)
+	}
+	if names[0] != "XMEAS(1)" {
+		t.Errorf("first name %q", names[0])
+	}
+	if names[te.NumXMEAS] != "XMV(1)" {
+		t.Errorf("first XMV name %q", names[te.NumXMEAS])
+	}
+	if names[NumVars-1] != "XMV(12)" {
+		t.Errorf("last name %q", names[NumVars-1])
+	}
+	if VarName(0) != "XMEAS(1)" || VarName(NumVars-1) != "XMV(12)" {
+		t.Error("VarName mismatch")
+	}
+	if VarName(-1) == "" || VarName(999) == "" {
+		t.Error("out-of-range VarName should render placeholder")
+	}
+}
+
+func TestIndexHelpers(t *testing.T) {
+	if IsXMV(0) || !IsXMV(te.NumXMEAS) || IsXMV(NumVars) {
+		t.Error("IsXMV boundaries wrong")
+	}
+	if XMVIndex(te.NumXMEAS) != 0 || XMVIndex(te.NumXMEAS+3) != 3 || XMVIndex(5) != -1 {
+		t.Error("XMVIndex wrong")
+	}
+	if XMEASIndex(5) != 5 || XMEASIndex(te.NumXMEAS) != -1 || XMEASIndex(-1) != -1 {
+		t.Error("XMEASIndex wrong")
+	}
+}
+
+func TestObservationAssembly(t *testing.T) {
+	xmeas := make([]float64, te.NumXMEAS)
+	xmv := make([]float64, te.NumXMV)
+	xmeas[0] = 0.25
+	xmv[2] = 24.6
+	row, err := Observation(xmeas, xmv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(row) != NumVars {
+		t.Fatalf("row len %d", len(row))
+	}
+	if row[0] != 0.25 || row[te.NumXMEAS+2] != 24.6 {
+		t.Error("values misplaced")
+	}
+	if _, err := Observation(xmeas[:5], xmv); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short xmeas: want ErrBadInput, got %v", err)
+	}
+	if _, err := Observation(xmeas, xmv[:5]); !errors.Is(err, ErrBadInput) {
+		t.Errorf("short xmv: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestRecorderDecimation(t *testing.T) {
+	r, err := NewRecorder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmeas := make([]float64, te.NumXMEAS)
+	xmv := make([]float64, te.NumXMV)
+	for i := 0; i < 10; i++ {
+		xmeas[0] = float64(i)
+		if err := r.Record(xmeas, xmv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Samples 0, 3, 6, 9 are kept.
+	if r.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4", r.Rows())
+	}
+	if r.Data().RowView(1)[0] != 3 {
+		t.Errorf("second kept sample = %g, want 3", r.Data().RowView(1)[0])
+	}
+}
+
+func TestRecorderDefaultKeepsAll(t *testing.T) {
+	r, err := NewRecorder(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xmeas := make([]float64, te.NumXMEAS)
+	xmv := make([]float64, te.NumXMV)
+	for i := 0; i < 5; i++ {
+		if err := r.Record(xmeas, xmv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Rows() != 5 {
+		t.Errorf("rows = %d, want 5", r.Rows())
+	}
+}
+
+func TestTwoViewRecords(t *testing.T) {
+	tv, err := NewTwoView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := make([]float64, te.NumXMEAS)
+	cx := make([]float64, te.NumXMV)
+	pm := make([]float64, te.NumXMEAS)
+	px := make([]float64, te.NumXMV)
+	cm[0], pm[0] = 1, 2 // forged vs real
+	if err := tv.Record(cm, cx, pm, px); err != nil {
+		t.Fatal(err)
+	}
+	if tv.Controller.Data().RowView(0)[0] != 1 {
+		t.Error("controller view wrong")
+	}
+	if tv.Process.Data().RowView(0)[0] != 2 {
+		t.Error("process view wrong")
+	}
+}

@@ -1,0 +1,151 @@
+package mspc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"pcsmon/internal/mat"
+)
+
+// mustRows copies rows [from, to) of m into a new matrix.
+func mustRows(t *testing.T, m *mat.Matrix, from, to int) *mat.Matrix {
+	t.Helper()
+	out := mat.MustNew(to-from, m.Cols())
+	for i := from; i < to; i++ {
+		if err := out.SetRow(i-from, m.RowView(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+func TestNewCUSUMValidation(t *testing.T) {
+	if _, err := NewCUSUM(0, -1, 5); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative k: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewCUSUM(0, 1, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("zero h: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestCUSUMAccumulatesShift(t *testing.T) {
+	c, err := NewCUSUM(10, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On-target samples: no accumulation.
+	for i := 0; i < 50; i++ {
+		if _, alarm := c.Step(10); alarm {
+			t.Fatal("alarm with zero deviation")
+		}
+	}
+	if c.Value() != 0 {
+		t.Fatalf("S = %g after on-target stream", c.Value())
+	}
+	// Persistent +1.5 shift: net drift k=+1 per sample → alarm after ~4.
+	steps := 0
+	for ; steps < 20; steps++ {
+		if _, alarm := c.Step(11.5); alarm {
+			break
+		}
+	}
+	if steps < 3 || steps > 6 {
+		t.Errorf("alarm after %d steps, want ≈4", steps)
+	}
+}
+
+func TestCUSUMNegativeDeviationsClampToZero(t *testing.T) {
+	c, err := NewCUSUM(10, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		c.Step(5) // far below target: one-sided chart must stay at 0
+	}
+	if c.Value() != 0 {
+		t.Errorf("S = %g, want 0 (one-sided)", c.Value())
+	}
+}
+
+func TestCUSUMReset(t *testing.T) {
+	c, err := NewCUSUM(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Step(10)
+	if c.Value() == 0 {
+		t.Fatal("no accumulation")
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCUSUMDetectorSmallShift(t *testing.T) {
+	// A shift too small for the 99 % Shewhart limit but persistent: CUSUM
+	// must catch it. Calibration and monitored data must share the latent
+	// structure, so draw once and split.
+	rng := rand.New(rand.NewSource(51))
+	all := correlatedNormal(rng, 2100, 8, 3, 0.5)
+	calib := mustRows(t, all, 0, 1500)
+	mon, err := Calibrate(calib, WithComponents(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := NewCUSUMDetector(mon, 1.0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stds := mon.Scaler().Stds()
+	// NOC phase: no alarm expected.
+	for i := 1500; i < 1800; i++ {
+		_, det, err := cd.Step(all.RowView(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			t.Fatalf("CUSUM alarmed during NOC at %d", i)
+		}
+	}
+	// Small persistent shift: 3σ on one variable — below the 99% Shewhart
+	// limit for a 3-component model but easy prey for CUSUM.
+	found := false
+	for i := 1800; i < 2100; i++ {
+		row := all.Row(i)
+		row[4] += 3 * stds[4]
+		_, det, err := cd.Step(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if det != nil {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("CUSUM missed a persistent 3σ shift over 300 samples")
+	}
+	if cd.Detection() == nil {
+		t.Error("detection not latched")
+	}
+	cd.Reset()
+	if cd.Detection() != nil {
+		t.Error("Reset did not clear latch")
+	}
+}
+
+func TestNewCUSUMDetectorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	mon, _ := calibrated(t, rng, 200, 5, 2, 2)
+	if _, err := NewCUSUMDetector(nil, 0.5, 5); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil monitor: want ErrBadInput, got %v", err)
+	}
+	if _, err := NewCUSUMDetector(mon, -1, 5); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad k: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewCUSUMDetector(mon, 0.5, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("bad h: want ErrBadConfig, got %v", err)
+	}
+}

@@ -1,0 +1,297 @@
+package mspc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"pcsmon/internal/mat"
+)
+
+// stepMonitor builds a monitor whose behaviour on crafted rows is easy to
+// reason about: calibrate on tight NOC data, then "anomalous" rows are the
+// same rows with a large shift.
+func stepMonitor(t *testing.T, rng *rand.Rand) (*Monitor, func(shifted bool) []float64) {
+	t.Helper()
+	n, m := 500, 6
+	x := correlatedNormal(rng, n, m, 2, 0.3)
+	mon, err := Calibrate(x, WithComponents(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stds := mon.Scaler().Stds()
+	mkRow := func(shifted bool) []float64 {
+		row := x.Row(rng.Intn(n))
+		if shifted {
+			row[2] += 12 * stds[2]
+		}
+		return row
+	}
+	return mon, mkRow
+}
+
+func TestDetectorRunRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	mon, mkRow := stepMonitor(t, rng)
+	det, err := NewDetector(mon, 3, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 normal, then continuous anomaly.
+	for i := 0; i < 10; i++ {
+		if _, d, err := det.Step(mkRow(false)); err != nil {
+			t.Fatal(err)
+		} else if d != nil {
+			t.Fatalf("false alarm at %d", i)
+		}
+	}
+	var detection *Detection
+	for i := 0; i < 20 && detection == nil; i++ {
+		_, detection, err = det.Step(mkRow(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if detection == nil {
+		t.Fatal("no detection on sustained 12σ shift")
+	}
+	if detection.Index != 12 {
+		t.Errorf("detection at %d, want 12 (3rd consecutive after 10 normals)", detection.Index)
+	}
+	if detection.RunStart != 10 {
+		t.Errorf("run start %d, want 10", detection.RunStart)
+	}
+	if len(detection.Charts) == 0 {
+		t.Error("no charts recorded in detection")
+	}
+	if got := det.Points(); len(got) != 13 {
+		t.Errorf("points retained = %d, want 13", len(got))
+	}
+}
+
+func TestDetectorResetsOnDip(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	mon, mkRow := stepMonitor(t, rng)
+	det, err := NewDetector(mon, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pattern: 2 anomalous, 1 normal, 2 anomalous, 1 normal — never 3 in a
+	// row, so never a detection.
+	pattern := []bool{true, true, false, true, true, false, true, true, false}
+	for i, shifted := range pattern {
+		_, d, err := det.Step(mkRow(shifted))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d != nil {
+			t.Fatalf("unexpected detection at step %d", i)
+		}
+	}
+	// Now 3 in a row fires.
+	var d *Detection
+	for i := 0; i < 3; i++ {
+		_, d, err = det.Step(mkRow(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d == nil {
+		t.Fatal("no detection after 3 consecutive")
+	}
+	if d.RunStart != len(pattern) {
+		t.Errorf("run start %d, want %d", d.RunStart, len(pattern))
+	}
+}
+
+func TestDetectorLatchesFirstDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	mon, mkRow := stepMonitor(t, rng)
+	det, err := NewDetector(mon, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Detection
+	for i := 0; i < 10; i++ {
+		_, d, err := det.Step(mkRow(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = d
+		}
+	}
+	if first == nil {
+		t.Fatal("no detection")
+	}
+	if det.Detection() != first {
+		t.Error("detection not latched")
+	}
+}
+
+func TestDetectorReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	mon, mkRow := stepMonitor(t, rng)
+	det, err := NewDetector(mon, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := det.Step(mkRow(true)); err != nil {
+		t.Fatal(err)
+	}
+	if det.Detection() == nil {
+		t.Fatal("expected detection with k=1")
+	}
+	det.Reset()
+	if det.Detection() != nil || det.N() != 0 || len(det.Points()) != 0 {
+		t.Error("Reset did not clear state")
+	}
+}
+
+func TestNewDetectorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	mon, _ := stepMonitor(t, rng)
+	if _, err := NewDetector(nil, 3, false); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil monitor: want ErrBadInput, got %v", err)
+	}
+	if _, err := NewDetector(mon, 0, false); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("k=0: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestMeasureRunLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(36))
+	mon, mkRow := stepMonitor(t, rng)
+	rows := make([][]float64, 0, 40)
+	for i := 0; i < 20; i++ {
+		rows = append(rows, mkRow(false))
+	}
+	for i := 0; i < 20; i++ {
+		rows = append(rows, mkRow(true))
+	}
+	res, err := MeasureRunLength(mon, rows, 20, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Detected {
+		t.Fatal("anomaly not detected")
+	}
+	if res.RunLength != 3 {
+		t.Errorf("run length = %d, want 3 (immediate detection)", res.RunLength)
+	}
+	if res.Time != 3*time.Second {
+		t.Errorf("time = %v, want 3s", res.Time)
+	}
+	if res.FalseAlarm {
+		t.Error("unexpected false alarm")
+	}
+}
+
+func TestMeasureRunLengthNoDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	mon, mkRow := stepMonitor(t, rng)
+	rows := make([][]float64, 30)
+	for i := range rows {
+		rows[i] = mkRow(false)
+	}
+	res, err := MeasureRunLength(mon, rows, 10, 3, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detected {
+		t.Error("detected an anomaly in pure NOC data (run of 3 beyond 99% is ~1e-6/obs)")
+	}
+}
+
+func TestMeasureRunLengthBadOnset(t *testing.T) {
+	rng := rand.New(rand.NewSource(38))
+	mon, mkRow := stepMonitor(t, rng)
+	rows := [][]float64{mkRow(false)}
+	if _, err := MeasureRunLength(mon, rows, 5, 3, time.Second); !errors.Is(err, ErrBadInput) {
+		t.Errorf("want ErrBadInput, got %v", err)
+	}
+	if _, err := MeasureRunLength(mon, rows, 0, 0, time.Second); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("k=0: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestEWMAFilter(t *testing.T) {
+	e, err := NewEWMA(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Step(10); v != 10 {
+		t.Errorf("first step = %g, want 10 (initialization)", v)
+	}
+	if v := e.Step(20); v != 15 {
+		t.Errorf("second step = %g, want 15", v)
+	}
+	if v := e.Value(); v != 15 {
+		t.Errorf("Value = %g", v)
+	}
+	e.Reset()
+	if e.Value() != 0 {
+		t.Error("Reset did not clear")
+	}
+	if _, err := NewEWMA(0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("lambda=0: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewEWMA(1.5); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("lambda=1.5: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestEWMADetectorFiresOnShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(39))
+	mon, mkRow := stepMonitor(t, rng)
+	ed, err := NewEWMADetector(mon, 0.2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warmup on NOC.
+	for i := 0; i < 100; i++ {
+		if _, d, err := ed.Step(mkRow(false)); err != nil {
+			t.Fatal(err)
+		} else if d != nil {
+			t.Fatalf("false alarm during NOC at %d", i)
+		}
+	}
+	var det *Detection
+	for i := 0; i < 100 && det == nil; i++ {
+		_, det, err = ed.Step(mkRow(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if det == nil {
+		t.Fatal("EWMA detector missed a sustained 12σ shift")
+	}
+	if ed.Detection() != det {
+		t.Error("detection not latched")
+	}
+}
+
+func TestEWMADetectorValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	mon, _ := stepMonitor(t, rng)
+	if _, err := NewEWMADetector(nil, 0.2, 0); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil monitor: want ErrBadInput, got %v", err)
+	}
+	if _, err := NewEWMADetector(mon, 0.2, -1); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative warmup: want ErrBadConfig, got %v", err)
+	}
+	if _, err := NewEWMADetector(mon, 0, 0); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("lambda=0: want ErrBadConfig, got %v", err)
+	}
+}
+
+func TestPointOver(t *testing.T) {
+	if (Point{OverD: true}).Over() != true ||
+		(Point{OverQ: true}).Over() != true ||
+		(Point{}).Over() != false {
+		t.Error("Point.Over logic wrong")
+	}
+}
+
+var _ = mat.Matrix{} // keep the import used even if helpers change

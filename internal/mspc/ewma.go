@@ -1,0 +1,125 @@
+package mspc
+
+import (
+	"fmt"
+	"math"
+)
+
+// EWMA is an exponentially weighted moving average filter, the classic SPC
+// companion chart for slow drifts. It is used here as an extension to the
+// paper's plain Shewhart-style D/Q charts: EWMA-smoothed statistics respond
+// faster to small persistent shifts such as those produced by
+// hold-last-value DoS attacks.
+//
+// The zero value is not usable; call NewEWMA.
+type EWMA struct {
+	lambda float64
+	value  float64
+	primed bool
+}
+
+// NewEWMA returns an EWMA filter with forgetting factor lambda ∈ (0, 1].
+// Smaller lambda smooths more.
+func NewEWMA(lambda float64) (*EWMA, error) {
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("mspc: EWMA lambda=%g not in (0,1]: %w", lambda, ErrBadConfig)
+	}
+	return &EWMA{lambda: lambda}, nil
+}
+
+// Step folds one sample into the average and returns the updated value.
+// The first sample initializes the filter.
+func (e *EWMA) Step(x float64) float64 {
+	if !e.primed {
+		e.value = x
+		e.primed = true
+		return e.value
+	}
+	e.value = e.lambda*x + (1-e.lambda)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before the first sample).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Reset clears the filter.
+func (e *EWMA) Reset() { e.value = 0; e.primed = false }
+
+// EWMADetector wraps a Monitor with EWMA-smoothed D and Q statistics and a
+// single-observation exceedance rule on the smoothed values. Because
+// smoothing shrinks in-control variation, the same 99 % limits give a
+// tighter effective test; the scale factor lambda/(2−lambda) from EWMA
+// theory is applied to the limits.
+type EWMADetector struct {
+	monitor *Monitor
+	ewmaD   *EWMA
+	ewmaQ   *EWMA
+	limD    float64
+	limQ    float64
+	index   int
+	warmup  int
+	det     *Detection
+}
+
+// NewEWMADetector builds an EWMA detector with the given forgetting factor.
+// warmup observations are consumed before detections may fire (the EWMA
+// needs to forget its initialization transient).
+func NewEWMADetector(m *Monitor, lambda float64, warmup int) (*EWMADetector, error) {
+	if m == nil {
+		return nil, fmt.Errorf("mspc: nil monitor: %w", ErrBadInput)
+	}
+	if warmup < 0 {
+		return nil, fmt.Errorf("mspc: negative warmup: %w", ErrBadConfig)
+	}
+	ed, err := NewEWMA(lambda)
+	if err != nil {
+		return nil, err
+	}
+	eq, err := NewEWMA(lambda)
+	if err != nil {
+		return nil, err
+	}
+	// Asymptotic EWMA variance shrinkage: Var(ewma) = Var(x)·λ/(2−λ).
+	// The mean of D under control is ~A and of Q is ~θ1, so we shrink the
+	// *excursion* above the mean rather than the whole limit.
+	shrink := lambda / (2 - lambda)
+	lim := m.Limits()
+	meanD := float64(m.Model().NComponents())
+	var meanQ float64
+	for _, l := range m.Model().ResidualEigenvalues() {
+		meanQ += l
+	}
+	limD := meanD + (lim.D99-meanD)*math.Sqrt(shrink)
+	limQ := meanQ + (lim.Q99-meanQ)*math.Sqrt(shrink)
+	return &EWMADetector{
+		monitor: m, ewmaD: ed, ewmaQ: eq,
+		limD: limD, limQ: limQ, warmup: warmup,
+	}, nil
+}
+
+// Step feeds one observation; the returned detection is latched as in
+// Detector.
+func (e *EWMADetector) Step(row []float64) (Statistics, *Detection, error) {
+	stats, err := e.monitor.Compute(row)
+	if err != nil {
+		return Statistics{}, nil, err
+	}
+	sd := e.ewmaD.Step(stats.D)
+	sq := e.ewmaQ.Step(stats.Q)
+	smoothed := Statistics{D: sd, Q: sq}
+	if e.index >= e.warmup && e.det == nil && (sd > e.limD || sq > e.limQ) {
+		charts := make([]Chart, 0, 2)
+		if sd > e.limD {
+			charts = append(charts, ChartD)
+		}
+		if sq > e.limQ {
+			charts = append(charts, ChartQ)
+		}
+		e.det = &Detection{Index: e.index, RunStart: e.index, Charts: charts}
+	}
+	e.index++
+	return smoothed, e.det, nil
+}
+
+// Detection returns the latched detection, if any.
+func (e *EWMADetector) Detection() *Detection { return e.det }

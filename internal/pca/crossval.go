@@ -1,0 +1,209 @@
+package pca
+
+import (
+	"fmt"
+
+	"pcsmon/internal/mat"
+)
+
+// ScreeDropRule selects the component count at the largest relative drop
+// ("elbow") of the eigenvalue spectrum: the a maximizing λ_a/λ_{a+1} among
+// components that each explain at least minFrac of total variance.
+func ScreeDropRule(minFrac float64) ComponentRule {
+	return func(eig []float64) int {
+		if len(eig) == 0 {
+			return 1
+		}
+		var total float64
+		for _, v := range eig {
+			if v > 0 {
+				total += v
+			}
+		}
+		if total <= 0 {
+			return 1
+		}
+		best, bestRatio := 1, 0.0
+		for a := 0; a < len(eig)-1; a++ {
+			if eig[a]/total < minFrac || eig[a+1] <= 0 {
+				break
+			}
+			ratio := eig[a] / eig[a+1]
+			if ratio > bestRatio {
+				bestRatio = ratio
+				best = a + 1
+			}
+		}
+		return best
+	}
+}
+
+// CVResult reports a cross-validation run.
+type CVResult struct {
+	// Components is the selected model order.
+	Components int
+	// PRESS[a-1] is the element-wise prediction error sum of squares with
+	// a components: each held-out variable is predicted from the *other*
+	// variables of its (held-out) row through the fold's model — the
+	// known-data-regression scheme, which genuinely penalizes noise
+	// components.
+	PRESS []float64
+}
+
+// CrossValidateComponents selects the number of principal components by
+// K-fold element-wise cross-validation: fit PCA on the training folds,
+// then for every held-out observation predict each variable j from the
+// remaining M−1 variables via the model (missing-data regression on the
+// scores) and accumulate the squared prediction errors. PRESS decreases
+// while components carry structure and rises once they fit noise; the
+// smallest order within 1 % of the global minimum is selected.
+//
+// maxA bounds the search (0 = min(smallest training size − 1, M)).
+func CrossValidateComponents(x *mat.Matrix, kFolds, maxA int) (*CVResult, error) {
+	if x == nil || x.Rows() < 4 {
+		return nil, fmt.Errorf("pca: cross-validation needs ≥4 rows: %w", ErrBadInput)
+	}
+	if kFolds < 2 || kFolds > x.Rows() {
+		return nil, fmt.Errorf("pca: %d folds for %d rows: %w", kFolds, x.Rows(), ErrBadInput)
+	}
+	n, m := x.Dims()
+	trainMin := n - (n+kFolds-1)/kFolds // smallest training-set size
+	limit := m
+	if trainMin-1 < limit {
+		limit = trainMin - 1
+	}
+	if maxA <= 0 || maxA > limit {
+		maxA = limit
+	}
+	if maxA < 1 {
+		return nil, fmt.Errorf("pca: no admissible component count: %w", ErrBadInput)
+	}
+
+	press := make([]float64, maxA)
+	for fold := 0; fold < kFolds; fold++ {
+		train, test := splitFold(x, kFolds, fold)
+		if train.Rows() < 2 || test.Rows() == 0 {
+			continue
+		}
+		fitA := maxA
+		if lim := minInt(train.Rows()-1, m); fitA > lim {
+			fitA = lim
+		}
+		model, err := Fit(train, fitA)
+		if err != nil {
+			return nil, fmt.Errorf("pca: fold %d: %w", fold, err)
+		}
+		loadings := model.Loadings()
+		for i := 0; i < test.Rows(); i++ {
+			row := test.RowView(i)
+			// tFull[a] = ⟨p_a, x⟩ over the full variable set.
+			tFull := make([]float64, fitA)
+			for a := 0; a < fitA; a++ {
+				var s float64
+				for j := 0; j < m; j++ {
+					s += loadings.At(j, a) * row[j]
+				}
+				tFull[a] = s
+			}
+			for a := 1; a <= maxA; a++ {
+				aa := a
+				if aa > fitA {
+					// Rank-limited fold: charge this order the same error
+					// as the largest admissible one.
+					aa = fitA
+				}
+				press[a-1] += kdrRowError(loadings, tFull, row, aa)
+			}
+		}
+	}
+
+	res := &CVResult{PRESS: press}
+	// Smallest order within 1 % of the global PRESS minimum.
+	best := 0
+	for a := 1; a < maxA; a++ {
+		if press[a] < press[best] {
+			best = a
+		}
+	}
+	selected := best + 1
+	for a := 0; a <= best; a++ {
+		if press[a] <= 1.01*press[best] {
+			selected = a + 1
+			break
+		}
+	}
+	res.Components = selected
+	return res, nil
+}
+
+// kdrRowError returns Σ_j (x_j − x̂_j)² where x̂_j is predicted from the
+// other variables with an a-component model. With orthonormal loadings the
+// trimmed least-squares scores have the closed form
+//
+//	t̃ = b + p_j·(p_jᵀb)/(1−‖p_j‖²),  b = Pᵀx − p_j·x_j
+//
+// (Sherman–Morrison on PᵀP − p_j p_jᵀ = I − p_j p_jᵀ).
+func kdrRowError(loadings *mat.Matrix, tFull []float64, row []float64, a int) float64 {
+	m := len(row)
+	var sum float64
+	pj := make([]float64, a)
+	b := make([]float64, a)
+	for j := 0; j < m; j++ {
+		var norm2 float64
+		for k := 0; k < a; k++ {
+			pj[k] = loadings.At(j, k)
+			b[k] = tFull[k] - pj[k]*row[j]
+			norm2 += pj[k] * pj[k]
+		}
+		den := 1 - norm2
+		var xhat float64
+		if den < 1e-9 {
+			// Variable j lies (numerically) inside the model subspace and
+			// cannot be predicted from the others at this order; charge
+			// the raw value as the error term.
+			xhat = 0
+		} else {
+			var pb float64
+			for k := 0; k < a; k++ {
+				pb += pj[k] * b[k]
+			}
+			scale := pb / den
+			for k := 0; k < a; k++ {
+				xhat += pj[k] * (b[k] + pj[k]*scale)
+			}
+		}
+		d := row[j] - xhat
+		sum += d * d
+	}
+	return sum
+}
+
+// splitFold partitions rows round-robin into train/test for the given
+// fold.
+func splitFold(x *mat.Matrix, kFolds, fold int) (train, test *mat.Matrix) {
+	n, m := x.Dims()
+	var trainRows, testRows [][]float64
+	for i := 0; i < n; i++ {
+		if i%kFolds == fold {
+			testRows = append(testRows, x.RowView(i))
+		} else {
+			trainRows = append(trainRows, x.RowView(i))
+		}
+	}
+	train = mat.MustNew(len(trainRows), m)
+	for i, r := range trainRows {
+		_ = train.SetRow(i, r)
+	}
+	test = mat.MustNew(len(testRows), m)
+	for i, r := range testRows {
+		_ = test.SetRow(i, r)
+	}
+	return train, test
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

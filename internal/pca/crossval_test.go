@@ -1,0 +1,83 @@
+package pca
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestScreeDropRule(t *testing.T) {
+	// Clear elbow after two components.
+	eig := []float64{10, 8, 0.5, 0.4, 0.3}
+	if a := ScreeDropRule(0.01)(eig); a != 2 {
+		t.Errorf("scree chose %d, want 2", a)
+	}
+	// Degenerate inputs fall back to 1.
+	if a := ScreeDropRule(0.01)(nil); a != 1 {
+		t.Errorf("nil spectrum: %d", a)
+	}
+	if a := ScreeDropRule(0.01)([]float64{0, 0}); a != 1 {
+		t.Errorf("zero spectrum: %d", a)
+	}
+}
+
+func TestCrossValidationRecoversRank(t *testing.T) {
+	// Rank-3 latent structure with modest noise: CV should choose close to
+	// 3 components (2–5 tolerated; CV criteria are conservative).
+	x := lowRankData(rand.New(rand.NewSource(31)), 240, 10, 3, 0.25)
+	res, err := CrossValidateComponents(x, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components < 2 || res.Components > 5 {
+		t.Errorf("CV chose %d components on rank-3 data (PRESS=%v)", res.Components, res.PRESS)
+	}
+	if len(res.PRESS) != 8 {
+		t.Fatalf("result length %d", len(res.PRESS))
+	}
+	for a, p := range res.PRESS {
+		if p <= 0 {
+			t.Errorf("PRESS[%d] = %g, want > 0", a, p)
+		}
+	}
+}
+
+func TestCrossValidationPRESSDecreasesOverSignalRange(t *testing.T) {
+	x := lowRankData(rand.New(rand.NewSource(32)), 200, 8, 3, 0.2)
+	res, err := CrossValidateComponents(x, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within the true rank, each extra component must reduce PRESS.
+	for a := 1; a < 3; a++ {
+		if res.PRESS[a] >= res.PRESS[a-1] {
+			t.Errorf("PRESS[%d]=%g ≥ PRESS[%d]=%g within the signal rank",
+				a, res.PRESS[a], a-1, res.PRESS[a-1])
+		}
+	}
+}
+
+func TestCrossValidationValidation(t *testing.T) {
+	if _, err := CrossValidateComponents(nil, 5, 3); !errors.Is(err, ErrBadInput) {
+		t.Errorf("nil: want ErrBadInput, got %v", err)
+	}
+	x := lowRankData(rand.New(rand.NewSource(33)), 20, 5, 2, 0.3)
+	if _, err := CrossValidateComponents(x, 1, 3); !errors.Is(err, ErrBadInput) {
+		t.Errorf("1 fold: want ErrBadInput, got %v", err)
+	}
+	if _, err := CrossValidateComponents(x, 25, 3); !errors.Is(err, ErrBadInput) {
+		t.Errorf("folds > rows: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestSplitFoldPartition(t *testing.T) {
+	x := lowRankData(rand.New(rand.NewSource(34)), 11, 4, 2, 0.2)
+	train, test := splitFold(x, 3, 1)
+	if train.Rows()+test.Rows() != 11 {
+		t.Fatalf("partition sizes %d+%d != 11", train.Rows(), test.Rows())
+	}
+	// Fold 1 of 3 over 11 rows: indices 1,4,7,10 → 4 test rows.
+	if test.Rows() != 4 {
+		t.Errorf("test rows = %d, want 4", test.Rows())
+	}
+}

@@ -1,0 +1,273 @@
+// Package plant wires the full closed loop of the paper's Figure 2: the TE
+// process, the decentralized controllers, the insecure fieldbus in between
+// (with the attacker's MitM taps on both directions), the disturbance
+// schedule, and the two-view historian.
+//
+// The expensive part of every experiment — warming the plant up to its
+// settled operating point — is done once per Template; each experiment Run
+// then clones the settled state with its own noise seed, so runs are cheap,
+// independent and statistically identical under NOC.
+package plant
+
+import (
+	"errors"
+	"fmt"
+
+	"pcsmon/internal/attack"
+	"pcsmon/internal/control"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+	"pcsmon/internal/te"
+)
+
+// Package-level sentinel errors.
+var (
+	// ErrBadConfig is returned for invalid configuration.
+	ErrBadConfig = errors.New("plant: invalid configuration")
+	// ErrWarmupFailed is returned when the plant trips during warmup.
+	ErrWarmupFailed = errors.New("plant: warmup failed")
+)
+
+// Config parameterizes a Template.
+type Config struct {
+	// StepSeconds is the sampling interval (default 1.8 s — the paper's
+	// 2000 samples/hour).
+	StepSeconds float64
+	// WarmupHours is the deterministic settling time before the operating
+	// point is frozen (default 60 h).
+	WarmupHours float64
+}
+
+// IDVEvent schedules a process disturbance: IDV index (0-based; 5 = the
+// paper's IDV(6)) active from StartHour until EndHour (≤ 0 = until the
+// run ends).
+type IDVEvent struct {
+	Index              int
+	StartHour, EndHour float64
+}
+
+// Template is a warmed-up plant: settled process state plus settled
+// controller state, cloneable into experiment runs.
+type Template struct {
+	cfg       Config
+	proc      *te.Process
+	ctrl      *control.TEController
+	baseXMEAS []float64
+	baseXMV   []float64
+}
+
+// NewTemplate builds the plant and runs the deterministic warmup under
+// closed-loop control, then re-centers the slow loops on the settled
+// operating point.
+func NewTemplate(cfg Config) (*Template, error) {
+	if cfg.StepSeconds == 0 {
+		cfg.StepSeconds = 1.8
+	}
+	if cfg.WarmupHours == 0 {
+		cfg.WarmupHours = 60
+	}
+	if cfg.StepSeconds < 0 || cfg.WarmupHours < 0 {
+		return nil, fmt.Errorf("plant: negative step or warmup: %w", ErrBadConfig)
+	}
+	proc, err := te.New(te.Config{
+		Seed:               0,
+		StepSeconds:        cfg.StepSeconds,
+		NoProcessNoise:     true,
+		NoMeasurementNoise: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("plant: process: %w", err)
+	}
+	ctrl, err := control.NewTEController()
+	if err != nil {
+		return nil, fmt.Errorf("plant: controller: %w", err)
+	}
+	dt := cfg.StepSeconds / 3600
+	steps := int(cfg.WarmupHours / dt)
+	// Startup bypass: the cold-start transient may graze level interlocks;
+	// they are re-armed before the template is used.
+	proc.SetInterlocks(false)
+	defer proc.SetInterlocks(true)
+	for i := 0; i < steps; i++ {
+		cmds, err := ctrl.Step(proc.Measurements(), dt)
+		if err != nil {
+			return nil, fmt.Errorf("plant: warmup control: %w", err)
+		}
+		for j, v := range cmds {
+			if err := proc.SetXMV(j, v); err != nil {
+				return nil, fmt.Errorf("plant: warmup actuation: %w", err)
+			}
+		}
+		if err := proc.Step(); err != nil {
+			return nil, fmt.Errorf("%w at %.2f h: %v", ErrWarmupFailed, proc.Hours(), err)
+		}
+	}
+	settled := proc.TrueMeasurements()
+	if err := ctrl.Retarget(settled); err != nil {
+		return nil, fmt.Errorf("plant: retarget: %w", err)
+	}
+	return &Template{
+		cfg:       cfg,
+		proc:      proc,
+		ctrl:      ctrl,
+		baseXMEAS: settled,
+		baseXMV:   proc.XMVs(),
+	}, nil
+}
+
+// BaseXMEAS returns the settled operating point (noiseless XMEAS).
+func (t *Template) BaseXMEAS() []float64 {
+	return append([]float64(nil), t.baseXMEAS...)
+}
+
+// BaseXMV returns the settled actuator positions.
+func (t *Template) BaseXMV() []float64 {
+	return append([]float64(nil), t.baseXMV...)
+}
+
+// StepSeconds returns the sampling interval of runs created from this
+// template.
+func (t *Template) StepSeconds() float64 { return t.cfg.StepSeconds }
+
+// RunConfig parameterizes one experiment run.
+type RunConfig struct {
+	// Seed drives all stochastic behaviour of this run.
+	Seed int64
+	// IDVs schedules process disturbances.
+	IDVs []IDVEvent
+	// Attacks is the adversary's plan (see attack.Spec); sensor-link specs
+	// forge XMEAS toward the controller, actuator-link specs forge XMV
+	// toward the process.
+	Attacks []attack.Spec
+	// Decimate keeps one of every N samples in the historian (≤1 keeps
+	// all).
+	Decimate int
+}
+
+// Run is one closed-loop simulation with optional disturbances and
+// attacks.
+type Run struct {
+	proc  *te.Process
+	ctrl  *control.TEController
+	link  *fieldbus.Link
+	sens  *attack.Injector
+	act   *attack.Injector
+	views *historian.TwoView
+	idvs  []IDVEvent
+	dt    float64
+}
+
+// NewRun clones the template into a fresh run.
+func (t *Template) NewRun(cfg RunConfig) (*Run, error) {
+	sens, err := attack.NewInjector(attack.SensorLink, cfg.Attacks)
+	if err != nil {
+		return nil, fmt.Errorf("plant: sensor injector: %w", err)
+	}
+	act, err := attack.NewInjector(attack.ActuatorLink, cfg.Attacks)
+	if err != nil {
+		return nil, fmt.Errorf("plant: actuator injector: %w", err)
+	}
+	for _, ev := range cfg.IDVs {
+		if ev.Index < 0 || ev.Index >= te.NumIDV {
+			return nil, fmt.Errorf("plant: IDV index %d: %w", ev.Index, ErrBadConfig)
+		}
+		if ev.StartHour < 0 || (ev.EndHour > 0 && ev.EndHour <= ev.StartHour) {
+			return nil, fmt.Errorf("plant: IDV window [%g,%g): %w", ev.StartHour, ev.EndHour, ErrBadConfig)
+		}
+	}
+	views, err := historian.NewTwoView(cfg.Decimate)
+	if err != nil {
+		return nil, fmt.Errorf("plant: historian: %w", err)
+	}
+	proc := t.proc.Clone(cfg.Seed)
+	proc.EnableNoise(true, true)
+	r := &Run{
+		proc:  proc,
+		ctrl:  t.ctrl.Clone(),
+		link:  fieldbus.NewLink(),
+		sens:  sens,
+		act:   act,
+		views: views,
+		idvs:  append([]IDVEvent(nil), cfg.IDVs...),
+		dt:    t.cfg.StepSeconds / 3600,
+	}
+	// The attacker sits on the fieldbus: taps rewrite frames in transit.
+	r.link.SetSensorTap(func(f *fieldbus.Frame) {
+		r.sens.Apply(f.Values, r.proc.Hours())
+	})
+	r.link.SetActuatorTap(func(f *fieldbus.Frame) {
+		r.act.Apply(f.Values, r.proc.Hours())
+	})
+	return r, nil
+}
+
+// Step advances the closed loop by one sample:
+//
+//	sensors → [MitM] → controller → [MitM] → actuators → process
+//
+// recording both views. It returns te.ErrShutdown (wrapped) once the plant
+// has tripped.
+func (r *Run) Step() error {
+	hour := r.proc.Hours()
+	// Disturbance schedule.
+	for _, ev := range r.idvs {
+		active := hour >= ev.StartHour && (ev.EndHour <= 0 || hour < ev.EndHour)
+		if r.proc.IDV(ev.Index) != active {
+			if err := r.proc.SetIDV(ev.Index, active); err != nil {
+				return err
+			}
+		}
+	}
+
+	procXMEAS := r.proc.Measurements()
+	ctrlXMEAS, err := r.link.SendSensors(procXMEAS)
+	if err != nil {
+		return fmt.Errorf("plant: sensor link: %w", err)
+	}
+	ctrlXMV, err := r.ctrl.Step(ctrlXMEAS, r.dt)
+	if err != nil {
+		return fmt.Errorf("plant: control: %w", err)
+	}
+	procXMV, err := r.link.SendActuators(ctrlXMV)
+	if err != nil {
+		return fmt.Errorf("plant: actuator link: %w", err)
+	}
+	for j, v := range procXMV {
+		if err := r.proc.SetXMV(j, v); err != nil {
+			return err
+		}
+	}
+	if err := r.views.Record(ctrlXMEAS, ctrlXMV, procXMEAS, procXMV); err != nil {
+		return fmt.Errorf("plant: record: %w", err)
+	}
+	return r.proc.Step()
+}
+
+// RunHours steps until the given simulated duration has elapsed or the
+// plant shuts down. It reports whether the run completed without a trip.
+func (r *Run) RunHours(hours float64) (completed bool, err error) {
+	for r.proc.Hours() < hours {
+		if err := r.Step(); err != nil {
+			if errors.Is(err, te.ErrShutdown) {
+				return false, nil
+			}
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// Views returns the two-view historian of this run.
+func (r *Run) Views() *historian.TwoView { return r.views }
+
+// Hours returns the simulated time.
+func (r *Run) Hours() float64 { return r.proc.Hours() }
+
+// Shutdown reports whether the plant tripped.
+func (r *Run) Shutdown() bool { return r.proc.Shutdown() }
+
+// ShutdownReason returns the interlock message, or "".
+func (r *Run) ShutdownReason() string { return r.proc.ShutdownReason() }
+
+// Process exposes the underlying process (read-only use intended).
+func (r *Run) Process() *te.Process { return r.proc }

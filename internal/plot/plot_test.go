@@ -1,0 +1,175 @@
+package plot
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func wave(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(float64(i) / 10)
+	}
+	return out
+}
+
+func TestASCIIChartBasics(t *testing.T) {
+	s, err := ASCIIChart("D-statistic", wave(200), map[string]float64{"99%": 0.9, "95%": 0.6}, 60, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "D-statistic") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(s, "99%") || !strings.Contains(s, "95%") {
+		t.Error("limit labels missing")
+	}
+	if !strings.Contains(s, "*") {
+		t.Error("no data points drawn")
+	}
+	if !strings.Contains(s, "n=200") {
+		t.Error("sample count missing")
+	}
+}
+
+func TestASCIIChartValidation(t *testing.T) {
+	if _, err := ASCIIChart("x", nil, nil, 60, 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: want ErrBadInput, got %v", err)
+	}
+	if _, err := ASCIIChart("x", wave(5), nil, 5, 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("narrow: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestASCIIChartConstantSeries(t *testing.T) {
+	s, err := ASCIIChart("flat", []float64{5, 5, 5}, nil, 30, 6)
+	if err != nil {
+		t.Fatalf("constant series must render: %v", err)
+	}
+	if !strings.Contains(s, "*") {
+		t.Error("no points for constant series")
+	}
+}
+
+func TestASCIIBars(t *testing.T) {
+	names := []string{"XMEAS(1)", "XMEAS(2)", "XMV(3)"}
+	vals := []float64{-100, 5, 40}
+	s, err := ASCIIBars("oMEDA", names, vals, 61)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names {
+		if !strings.Contains(s, n) {
+			t.Errorf("missing label %s", n)
+		}
+	}
+	if !strings.Contains(s, "█") {
+		t.Error("no bars drawn")
+	}
+	// The dominant negative bar extends left of the axis: find its line.
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "XMEAS(1)") {
+			bar := strings.Index(line, "█")
+			axis := strings.Index(line, "|")
+			if bar == -1 || axis == -1 || bar > axis {
+				t.Errorf("negative bar not left of axis: %q", line)
+			}
+		}
+	}
+}
+
+func TestASCIIBarsValidation(t *testing.T) {
+	if _, err := ASCIIBars("x", []string{"a"}, []float64{1, 2}, 61); !errors.Is(err, ErrBadInput) {
+		t.Errorf("mismatch: want ErrBadInput, got %v", err)
+	}
+	if _, err := ASCIIBars("x", nil, nil, 61); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: want ErrBadInput, got %v", err)
+	}
+	if _, err := ASCIIBars("x", []string{"a"}, []float64{1}, 5); !errors.Is(err, ErrBadInput) {
+		t.Errorf("narrow: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestASCIIBarsAllZero(t *testing.T) {
+	if _, err := ASCIIBars("zeros", []string{"a", "b"}, []float64{0, 0}, 41); err != nil {
+		t.Fatalf("all-zero bars must render: %v", err)
+	}
+}
+
+func TestASCIITimeSeries(t *testing.T) {
+	s, err := ASCIITimeSeries("Fig 3", map[string][]float64{
+		"(a) IDV(6)":          wave(100),
+		"(b) attack on XMV3)": wave(100),
+	}, 50, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, "Fig 3") || !strings.Contains(s, "IDV(6)") {
+		t.Error("captions missing")
+	}
+	if _, err := ASCIITimeSeries("x", nil, 50, 8); !errors.Is(err, ErrBadInput) {
+		t.Errorf("no panels: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestSVGChartWellFormed(t *testing.T) {
+	s, err := SVGChart("D chart", wave(500), map[string]float64{"UCL99": 0.95}, 640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "polyline", "UCL99", "stroke-dasharray"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(s, "<svg") != 1 {
+		t.Error("multiple svg roots")
+	}
+}
+
+func TestSVGChartValidation(t *testing.T) {
+	if _, err := SVGChart("x", nil, nil, 640, 360); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty: want ErrBadInput, got %v", err)
+	}
+	if _, err := SVGChart("x", wave(10), nil, 10, 10); !errors.Is(err, ErrBadInput) {
+		t.Errorf("tiny: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestSVGBars(t *testing.T) {
+	s, err := SVGBars("oMEDA", []string{"a", "b", "c"}, []float64{-3, 1, 2}, 640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(s, "<rect") < 4 { // background + 3 bars
+		t.Error("bars missing")
+	}
+	if !strings.Contains(s, "indianred") || !strings.Contains(s, "steelblue") {
+		t.Error("bar colors missing")
+	}
+	// Dominant bar labelled.
+	if !strings.Contains(s, ">a</text>") {
+		t.Error("dominant bar label missing")
+	}
+}
+
+func TestSVGBarsValidation(t *testing.T) {
+	if _, err := SVGBars("x", []string{"a"}, []float64{1, 2}, 640, 360); !errors.Is(err, ErrBadInput) {
+		t.Errorf("mismatch: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	s, err := SVGChart(`<&">`, wave(10), nil, 640, 360)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(s, `><&"></text>`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(s, "&lt;&amp;&quot;&gt;") {
+		t.Error("escaped title missing")
+	}
+}

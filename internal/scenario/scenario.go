@@ -1,0 +1,413 @@
+// Package scenario defines the paper's experimental scenarios and the
+// multi-run executor that reproduces its evaluation protocol: calibrate the
+// MSPC model on NOC runs, then run each anomalous situation several times
+// (the paper uses ten), measure the run length to detection (ARL), pool the
+// first out-of-control observations across runs, and compute the
+// controller-view and process-view oMEDA profiles (the paper's Figures 4
+// and 5).
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"pcsmon/internal/attack"
+	"pcsmon/internal/core"
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/historian"
+	"pcsmon/internal/mat"
+	"pcsmon/internal/plant"
+	"pcsmon/internal/te"
+)
+
+// Package-level sentinel errors.
+var (
+	// ErrBadConfig is returned for invalid experiment parameters.
+	ErrBadConfig = errors.New("scenario: invalid configuration")
+)
+
+// Scenario is one anomalous situation.
+type Scenario struct {
+	// Key is a short machine-friendly identifier ("idv6", "xmv3-integrity",
+	// …).
+	Key string
+	// Name is the human-readable description.
+	Name string
+	// IDVs schedules process disturbances.
+	IDVs []plant.IDVEvent
+	// Attacks is the adversary plan.
+	Attacks []attack.Spec
+	// Expected is the ground-truth verdict (for scoring the classifier).
+	Expected core.Verdict
+	// AttackedVar is the ground-truth forged observation column (-1 for
+	// none).
+	AttackedVar int
+}
+
+// PaperScenarios returns the four evaluation scenarios of §V with the
+// anomaly starting at onsetHour:
+//
+//	(a) disturbance IDV(6)            — A feed loss
+//	(b) integrity attack on XMV(3)    — attacker closes the A feed valve
+//	(c) integrity attack on XMEAS(1)  — attacker reports zero A flow
+//	(d) DoS on XMV(3)                 — commands to the valve are dropped
+func PaperScenarios(onsetHour float64) []Scenario {
+	xmv3 := te.NumXMEAS + te.XmvAFeed
+	return []Scenario{
+		{
+			Key:         "idv6",
+			Name:        "Disturbance IDV(6): A feed loss",
+			IDVs:        []plant.IDVEvent{{Index: 5, StartHour: onsetHour}},
+			Expected:    core.VerdictDisturbance,
+			AttackedVar: -1,
+		},
+		{
+			Key:  "xmv3-integrity",
+			Name: "Integrity attack on XMV(3): valve forced closed",
+			Attacks: []attack.Spec{{
+				Kind:      attack.Integrity,
+				Direction: attack.ActuatorLink,
+				Channel:   te.XmvAFeed,
+				StartHour: onsetHour,
+				Value:     0,
+			}},
+			Expected:    core.VerdictIntegrityAttack,
+			AttackedVar: xmv3,
+		},
+		{
+			Key:  "xmeas1-integrity",
+			Name: "Integrity attack on XMEAS(1): zero flow reported",
+			Attacks: []attack.Spec{{
+				Kind:      attack.Integrity,
+				Direction: attack.SensorLink,
+				Channel:   te.XmeasAFeed,
+				StartHour: onsetHour,
+				Value:     0,
+			}},
+			Expected:    core.VerdictIntegrityAttack,
+			AttackedVar: te.XmeasAFeed,
+		},
+		{
+			Key:  "xmv3-dos",
+			Name: "DoS attack on XMV(3): hold last value",
+			Attacks: []attack.Spec{{
+				Kind:      attack.DoS,
+				Direction: attack.ActuatorLink,
+				Channel:   te.XmvAFeed,
+				StartHour: onsetHour,
+			}},
+			Expected:    core.VerdictDoS,
+			AttackedVar: xmv3,
+		},
+	}
+}
+
+// ExtendedScenarios returns additional situations beyond the paper's four:
+// more disturbances, a sensor-side DoS, a bias attack and a replay attack.
+func ExtendedScenarios(onsetHour float64) []Scenario {
+	return []Scenario{
+		{
+			Key:         "idv1",
+			Name:        "Disturbance IDV(1): A/C feed ratio step",
+			IDVs:        []plant.IDVEvent{{Index: 0, StartHour: onsetHour}},
+			Expected:    core.VerdictDisturbance,
+			AttackedVar: -1,
+		},
+		{
+			Key:         "idv4",
+			Name:        "Disturbance IDV(4): reactor CW inlet temperature step",
+			IDVs:        []plant.IDVEvent{{Index: 3, StartHour: onsetHour}},
+			Expected:    core.VerdictDisturbance,
+			AttackedVar: -1,
+		},
+		{
+			Key:         "idv8",
+			Name:        "Disturbance IDV(8): feed composition random variation",
+			IDVs:        []plant.IDVEvent{{Index: 7, StartHour: onsetHour}},
+			Expected:    core.VerdictDisturbance,
+			AttackedVar: -1,
+		},
+		{
+			Key:  "xmeas1-dos",
+			Name: "DoS on XMEAS(1): sensor value frozen",
+			Attacks: []attack.Spec{{
+				Kind:      attack.DoS,
+				Direction: attack.SensorLink,
+				Channel:   te.XmeasAFeed,
+				StartHour: onsetHour,
+			}},
+			Expected:    core.VerdictDoS,
+			AttackedVar: te.XmeasAFeed,
+		},
+		{
+			Key:  "xmeas9-bias",
+			Name: "Bias attack on XMEAS(9): reactor temperature reads 3 °C low",
+			Attacks: []attack.Spec{{
+				Kind:      attack.Bias,
+				Direction: attack.SensorLink,
+				Channel:   te.XmeasReactorTemp,
+				StartHour: onsetHour,
+				Value:     -3,
+			}},
+			Expected:    core.VerdictIntegrityAttack,
+			AttackedVar: te.XmeasReactorTemp,
+		},
+	}
+}
+
+// Experiment holds everything needed to execute scenarios.
+type Experiment struct {
+	// Template is the warmed-up plant.
+	Template *plant.Template
+	// System is the calibrated two-view monitor.
+	System *core.System
+	// Hours is the run duration (paper: 72).
+	Hours float64
+	// OnsetHour is when anomalies begin (paper: 10).
+	OnsetHour float64
+	// Decimate thins the historian (1 = paper cadence).
+	Decimate int
+	// SeedBase offsets run seeds so scenarios are independent.
+	SeedBase int64
+	// Workers bounds parallel runs (0 = GOMAXPROCS).
+	Workers int
+}
+
+// CalibrationResult carries the calibrated system plus the statistics the
+// charts need.
+type CalibrationResult struct {
+	System *core.System
+	// Observations is the total number of calibration observations.
+	Observations int
+}
+
+// Calibrate runs `runs` NOC simulations from the template and calibrates
+// the monitoring system on the pooled observations via the streaming
+// covariance path (memory stays O(M²) regardless of scale).
+func Calibrate(tmpl *plant.Template, runs int, hours float64, decimate int, seedBase int64, cfg core.Config) (*CalibrationResult, error) {
+	if tmpl == nil || runs < 1 || hours <= 0 {
+		return nil, fmt.Errorf("scenario: calibration needs a template, runs ≥ 1 and hours > 0: %w", ErrBadConfig)
+	}
+	acc, err := mat.NewCovAccumulator(historian.NumVars)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	// Each worker folds its run's rows into the shared accumulator under a
+	// mutex; no run's observations are retained, so memory stays O(M²)
+	// regardless of the calibration scale.
+	var mu sync.Mutex
+	total := 0
+	if err := forEachRun(runs, 0, func(i int) error {
+		run, err := tmpl.NewRun(plant.RunConfig{Seed: seedBase + int64(i), Decimate: decimate})
+		if err != nil {
+			return err
+		}
+		completed, err := run.RunHours(hours)
+		if err != nil {
+			return err
+		}
+		if !completed {
+			return fmt.Errorf("scenario: NOC calibration run %d tripped (%s): %w",
+				i, run.ShutdownReason(), ErrBadConfig)
+		}
+		d := run.Views().Process.Data()
+		mu.Lock()
+		defer mu.Unlock()
+		for r := 0; r < d.Rows(); r++ {
+			if err := acc.Add(d.RowView(r)); err != nil {
+				return fmt.Errorf("scenario: %w", err)
+			}
+			total++
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	cov, err := acc.Covariance()
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sys, err := core.CalibrateCov(cov, acc.Means(), acc.N(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &CalibrationResult{System: sys, Observations: total}, nil
+}
+
+// RunOutcome is the result of one scenario run.
+type RunOutcome struct {
+	Seed         int64
+	Report       *core.Report
+	Shutdown     bool
+	ShutdownHour float64
+	// FirstOOCCtrl/Proc are the diagnosis-window observations of each view
+	// (pooled by the caller across runs for the paper's Figures 4/5).
+	FirstOOCCtrl [][]float64
+	FirstOOCProc [][]float64
+}
+
+// Result aggregates a scenario over its runs.
+type Result struct {
+	Scenario Scenario
+	Runs     []RunOutcome
+	// DetectionRate is the fraction of runs with a detection in either
+	// view.
+	DetectionRate float64
+	// MeanRunLength averages the per-run detection delay (over detecting
+	// runs, using the earliest-detecting view).
+	MeanRunLength time.Duration
+	// PooledOMEDACtrl/Proc are oMEDA profiles over the pooled
+	// first-out-of-control observations of all runs — the paper's plotted
+	// quantity.
+	PooledOMEDACtrl []float64
+	PooledOMEDAProc []float64
+	// Verdicts counts classifier outcomes across runs.
+	Verdicts map[core.Verdict]int
+	// Correct is the fraction of runs with the expected verdict.
+	Correct float64
+}
+
+// Run executes one scenario `runs` times in parallel and aggregates.
+func (e *Experiment) Run(sc Scenario, runs int) (*Result, error) {
+	if e.Template == nil || e.System == nil {
+		return nil, fmt.Errorf("scenario: experiment not initialized: %w", ErrBadConfig)
+	}
+	if runs < 1 {
+		return nil, fmt.Errorf("scenario: runs=%d: %w", runs, ErrBadConfig)
+	}
+	decimate := e.Decimate
+	if decimate < 1 {
+		decimate = 1
+	}
+	sample := time.Duration(float64(e.Template.StepSeconds()) * float64(decimate) * float64(time.Second))
+	onsetIdx := int(e.OnsetHour * 3600 / (e.Template.StepSeconds() * float64(decimate)))
+
+	outcomes := make([]RunOutcome, runs)
+	if err := forEachRun(runs, e.Workers, func(i int) error {
+		seed := e.SeedBase + 1000 + int64(i)
+		run, err := e.Template.NewRun(plant.RunConfig{
+			Seed:     seed,
+			IDVs:     sc.IDVs,
+			Attacks:  sc.Attacks,
+			Decimate: decimate,
+		})
+		if err != nil {
+			return err
+		}
+		if _, err := run.RunHours(e.Hours); err != nil {
+			return err
+		}
+		ctrl := run.Views().Controller.Data()
+		proc := run.Views().Process.Data()
+		rep, err := e.System.AnalyzeViews(ctrl, proc, onsetIdx, sample)
+		if err != nil {
+			return err
+		}
+		out := RunOutcome{
+			Seed:     seed,
+			Report:   rep,
+			Shutdown: run.Shutdown(),
+		}
+		if run.Shutdown() {
+			out.ShutdownHour = run.Hours()
+		}
+		out.FirstOOCCtrl = diagnosisWindow(ctrl, rep.Controller, e.System.Config().DiagnoseWindow)
+		out.FirstOOCProc = diagnosisWindow(proc, rep.Process, e.System.Config().DiagnoseWindow)
+		outcomes[i] = out
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Scenario: sc,
+		Runs:     outcomes,
+		Verdicts: make(map[core.Verdict]int, 4),
+	}
+	var detRuns, correct int
+	var sumRL time.Duration
+	var pooledCtrl, pooledProc [][]float64
+	for _, out := range outcomes {
+		res.Verdicts[out.Report.Verdict]++
+		if out.Report.Verdict == sc.Expected {
+			correct++
+		}
+		cd, pd := out.Report.Controller, out.Report.Process
+		if cd.Detected || pd.Detected {
+			detRuns++
+			rl := cd.Time
+			if !cd.Detected || (pd.Detected && pd.Time < rl) {
+				rl = pd.Time
+			}
+			sumRL += rl
+		}
+		pooledCtrl = append(pooledCtrl, out.FirstOOCCtrl...)
+		pooledProc = append(pooledProc, out.FirstOOCProc...)
+	}
+	res.DetectionRate = float64(detRuns) / float64(runs)
+	if detRuns > 0 {
+		res.MeanRunLength = sumRL / time.Duration(detRuns)
+	}
+	res.Correct = float64(correct) / float64(runs)
+	if len(pooledCtrl) > 0 {
+		v, err := e.System.DiagnoseGroup(pooledCtrl)
+		if err != nil {
+			return nil, err
+		}
+		res.PooledOMEDACtrl = v
+	}
+	if len(pooledProc) > 0 {
+		v, err := e.System.DiagnoseGroup(pooledProc)
+		if err != nil {
+			return nil, err
+		}
+		res.PooledOMEDAProc = v
+	}
+	return res, nil
+}
+
+func diagnosisWindow(view *dataset.Dataset, va core.ViewAnalysis, window int) [][]float64 {
+	if !va.Detected {
+		return nil
+	}
+	end := va.RunStart + window
+	if end > view.Rows() {
+		end = view.Rows()
+	}
+	rows := make([][]float64, 0, end-va.RunStart)
+	for i := va.RunStart; i < end; i++ {
+		rows = append(rows, view.Row(i))
+	}
+	return rows
+}
+
+// forEachRun executes fn(0..n-1) on a bounded worker pool, returning the
+// first error.
+func forEachRun(n, workers int, fn func(int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	sem := make(chan struct{}, workers)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}

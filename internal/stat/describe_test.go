@@ -1,0 +1,144 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != 5 {
+		t.Errorf("Mean = %g, want 5", m)
+	}
+	v, err := Variance(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum of squared deviations is 32; sample variance = 32/7.
+	if !closeTo(v, 32.0/7.0, 1e-12) {
+		t.Errorf("Variance = %g, want %g", v, 32.0/7.0)
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !closeTo(sd, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Errorf("StdDev = %g", sd)
+	}
+}
+
+func TestEmptySampleErrors(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Mean(nil): want ErrEmpty, got %v", err)
+	}
+	if _, err := Variance(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Variance(nil): want ErrEmpty, got %v", err)
+	}
+	if _, _, err := MinMax(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("MinMax(nil): want ErrEmpty, got %v", err)
+	}
+	if _, err := Quantile(nil, 0.5); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Quantile(nil): want ErrEmpty, got %v", err)
+	}
+	if _, err := Describe(nil); !errors.Is(err, ErrEmpty) {
+		t.Errorf("Describe(nil): want ErrEmpty, got %v", err)
+	}
+}
+
+func TestSinglePointVariance(t *testing.T) {
+	v, err := Variance([]float64{42})
+	if err != nil || v != 0 {
+		t.Errorf("Variance single = %g, %v; want 0", v, err)
+	}
+}
+
+func TestQuantileKnown(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	tests := []struct {
+		p, want float64
+	}{
+		{0, 1},
+		{1, 4},
+		{0.5, 2.5},
+		{0.25, 1.75},
+		{1.0 / 3.0, 2},
+	}
+	for _, tc := range tests {
+		got, err := Quantile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closeTo(got, tc.want, 1e-12) {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Quantile(xs, 1.5); !errors.Is(err, ErrDomain) {
+		t.Errorf("want ErrDomain, got %v", err)
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(8))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		p1 := rng.Float64()
+		p2 := rng.Float64()
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		q1, err1 := Quantile(xs, p1)
+		q2, err2 := Quantile(xs, p2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return q1 <= q2+1e-12
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	s, err := Describe([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Describe = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("Summary.String() empty")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi, err := MinMax([]float64{3, -1, 7, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != -1 || hi != 7 {
+		t.Errorf("MinMax = %g,%g; want -1,7", lo, hi)
+	}
+}

@@ -1,0 +1,132 @@
+package stat
+
+import (
+	"fmt"
+	"math"
+)
+
+// Autocorrelation returns the sample autocorrelation of xs at the given
+// lags. Monitoring statistics sampled faster than the plant dynamics are
+// strongly autocorrelated, which inflates the run-rule false-alarm rate
+// relative to the i.i.d. theory — this helper quantifies that (see
+// EXPERIMENTS.md's discussion of the NOC verdict ablation).
+func Autocorrelation(xs []float64, lags []int) ([]float64, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("stat: Autocorrelation needs ≥2 samples: %w", ErrEmpty)
+	}
+	m, err := Mean(xs)
+	if err != nil {
+		return nil, err
+	}
+	var c0 float64
+	for _, v := range xs {
+		d := v - m
+		c0 += d * d
+	}
+	if c0 == 0 {
+		return nil, fmt.Errorf("stat: constant series: %w", ErrDomain)
+	}
+	out := make([]float64, len(lags))
+	for i, lag := range lags {
+		if lag < 0 || lag >= len(xs) {
+			return nil, fmt.Errorf("stat: lag %d out of [0,%d): %w", lag, len(xs), ErrDomain)
+		}
+		var c float64
+		for t := 0; t+lag < len(xs); t++ {
+			c += (xs[t] - m) * (xs[t+lag] - m)
+		}
+		out[i] = c / c0
+	}
+	return out, nil
+}
+
+// EffectiveSampleSize estimates the number of effectively independent
+// samples in an autocorrelated series using the initial-positive-sequence
+// truncation of the autocorrelation sum:
+//
+//	ESS = N / (1 + 2·Σ_{k≥1} ρ_k)   summed while ρ_k > 0
+func EffectiveSampleSize(xs []float64) (float64, error) {
+	n := len(xs)
+	if n < 3 {
+		return 0, fmt.Errorf("stat: EffectiveSampleSize needs ≥3 samples: %w", ErrEmpty)
+	}
+	maxLag := n / 2
+	lags := make([]int, maxLag)
+	for i := range lags {
+		lags[i] = i + 1
+	}
+	rho, err := Autocorrelation(xs, lags)
+	if err != nil {
+		return 0, err
+	}
+	var s float64
+	for _, r := range rho {
+		if r <= 0 {
+			break
+		}
+		s += r
+	}
+	ess := float64(n) / (1 + 2*s)
+	if ess < 1 {
+		ess = 1
+	}
+	return ess, nil
+}
+
+// MovingAverage returns the centered moving average of xs with the given
+// odd window (edges use the available samples).
+func MovingAverage(xs []float64, window int) ([]float64, error) {
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stat: MovingAverage: %w", ErrEmpty)
+	}
+	if window < 1 || window%2 == 0 {
+		return nil, fmt.Errorf("stat: window %d must be odd and ≥1: %w", window, ErrDomain)
+	}
+	half := window / 2
+	out := make([]float64, len(xs))
+	for i := range xs {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + half + 1
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		var s float64
+		for _, v := range xs[lo:hi] {
+			s += v
+		}
+		out[i] = s / float64(hi-lo)
+	}
+	return out, nil
+}
+
+// Detrend removes a least-squares straight line from xs.
+func Detrend(xs []float64) ([]float64, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, fmt.Errorf("stat: Detrend needs ≥2 samples: %w", ErrEmpty)
+	}
+	// Fit y = a + b·t with t = 0..n-1.
+	var sumT, sumY, sumTT, sumTY float64
+	for t, y := range xs {
+		ft := float64(t)
+		sumT += ft
+		sumY += y
+		sumTT += ft * ft
+		sumTY += ft * y
+	}
+	fn := float64(n)
+	den := fn*sumTT - sumT*sumT
+	if math.Abs(den) < 1e-300 {
+		return nil, fmt.Errorf("stat: degenerate design: %w", ErrDomain)
+	}
+	b := (fn*sumTY - sumT*sumY) / den
+	a := (sumY - b*sumT) / fn
+	out := make([]float64, n)
+	for t, y := range xs {
+		out[t] = y - (a + b*float64(t))
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package stat
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func ar1Series(rng *rand.Rand, n int, phi float64) []float64 {
+	out := make([]float64, n)
+	for i := 1; i < n; i++ {
+		out[i] = phi*out[i-1] + rng.NormFloat64()
+	}
+	return out
+}
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	rho, err := Autocorrelation(xs, []int{0, 1, 5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rho[0] != 1 {
+		t.Errorf("ρ(0) = %g, want exactly 1", rho[0])
+	}
+	for i, lag := range []int{1, 5, 20} {
+		if math.Abs(rho[i+1]) > 0.03 {
+			t.Errorf("white noise ρ(%d) = %g, want ≈ 0", lag, rho[i+1])
+		}
+	}
+}
+
+func TestAutocorrelationAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	const phi = 0.8
+	xs := ar1Series(rng, 50000, phi)
+	rho, err := Autocorrelation(xs, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, lag := range []int{1, 2, 3} {
+		want := math.Pow(phi, float64(lag))
+		if math.Abs(rho[i]-want) > 0.05 {
+			t.Errorf("AR(1) ρ(%d) = %g, want ≈ %g", lag, rho[i], want)
+		}
+	}
+}
+
+func TestAutocorrelationValidation(t *testing.T) {
+	if _, err := Autocorrelation(nil, []int{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("want ErrEmpty, got %v", err)
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, []int{5}); !errors.Is(err, ErrDomain) {
+		t.Errorf("lag too large: want ErrDomain, got %v", err)
+	}
+	if _, err := Autocorrelation([]float64{7, 7, 7}, []int{1}); !errors.Is(err, ErrDomain) {
+		t.Errorf("constant: want ErrDomain, got %v", err)
+	}
+}
+
+func TestEffectiveSampleSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// White noise: ESS ≈ N.
+	white := make([]float64, 5000)
+	for i := range white {
+		white[i] = rng.NormFloat64()
+	}
+	essW, err := EffectiveSampleSize(white)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if essW < 3000 {
+		t.Errorf("white-noise ESS = %g of 5000, want near N", essW)
+	}
+	// AR(1) with φ=0.9: ESS ≈ N(1−φ)/(1+φ) ≈ N/19.
+	ar := ar1Series(rng, 5000, 0.9)
+	essA, err := EffectiveSampleSize(ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if essA > essW/3 {
+		t.Errorf("AR(1) ESS = %g not ≪ white-noise ESS %g", essA, essW)
+	}
+	if essA < 50 {
+		t.Errorf("AR(1) ESS = %g suspiciously small", essA)
+	}
+}
+
+func TestMovingAverageSmoothes(t *testing.T) {
+	xs := []float64{0, 10, 0, 10, 0, 10, 0}
+	sm, err := MovingAverage(xs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interior points: mean of {0,10,0} or {10,0,10}.
+	if math.Abs(sm[2]-20.0/3) > 1e-12 && math.Abs(sm[2]-10.0/3) > 1e-12 {
+		t.Errorf("sm[2] = %g", sm[2])
+	}
+	// Variance must shrink.
+	v0, _ := Variance(xs)
+	v1, _ := Variance(sm)
+	if v1 >= v0 {
+		t.Errorf("smoothing did not reduce variance: %g → %g", v0, v1)
+	}
+	if _, err := MovingAverage(xs, 2); !errors.Is(err, ErrDomain) {
+		t.Errorf("even window: want ErrDomain, got %v", err)
+	}
+	if _, err := MovingAverage(nil, 3); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty: want ErrEmpty, got %v", err)
+	}
+}
+
+func TestDetrendRemovesLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = 3 + 0.25*float64(i) + rng.NormFloat64()
+	}
+	dt, err := Detrend(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Mean(dt)
+	if math.Abs(m) > 1e-9 {
+		t.Errorf("detrended mean = %g, want 0", m)
+	}
+	// Correlation with time should be gone.
+	var ct float64
+	for i, v := range dt {
+		ct += v * (float64(i) - float64(len(dt)-1)/2)
+	}
+	if math.Abs(ct) > 1e-6*float64(len(dt)) {
+		t.Errorf("detrended series still correlates with time: %g", ct)
+	}
+	if _, err := Detrend([]float64{1}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("short: want ErrEmpty, got %v", err)
+	}
+}

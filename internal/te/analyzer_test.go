@@ -1,0 +1,96 @@
+package te
+
+import (
+	"testing"
+)
+
+// TestDiscreteAnalyzersHoldBetweenSamples: in DiscreteAnalyzers mode the
+// composition measurements are piecewise constant with the documented
+// periods, while the continuous mode moves every step.
+func TestDiscreteAnalyzersHoldBetweenSamples(t *testing.T) {
+	p := newTestProcess(t, Config{
+		NoMeasurementNoise: true,
+		StepSeconds:        4.5,
+		DiscreteAnalyzers:  true,
+		Seed:               5,
+	})
+	// Perturb the plant so compositions genuinely move; this is an
+	// open-loop run (no controller), so bypass the interlocks that a
+	// drifting plant would otherwise trip.
+	p.SetInterlocks(false)
+	if err := p.SetIDV(0, true); err != nil { // IDV(1): feed ratio step
+		t.Fatal(err)
+	}
+	const stepsPerFast = 80 // 6 min at 4.5 s
+	var feedChanges, prodChanges int
+	prevFeed := -1.0
+	prevProd := -1.0
+	const n = 3 * 60 * 60 / 4.5 // 3 h
+	for i := 0; i < int(n); i++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+		m := p.TrueMeasurements()
+		if prevFeed >= 0 && m[XmeasFeedA] != prevFeed {
+			feedChanges++
+		}
+		if prevProd >= 0 && m[XmeasProductG] != prevProd {
+			prodChanges++
+		}
+		prevFeed = m[XmeasFeedA]
+		prevProd = m[XmeasProductG]
+	}
+	// 3 h = 30 fast periods and 12 slow periods; tolerate ±2.
+	if feedChanges < 26 || feedChanges > 32 {
+		t.Errorf("feed analyzer changed %d times over 3 h, want ≈30", feedChanges)
+	}
+	if prodChanges < 10 || prodChanges > 14 {
+		t.Errorf("product analyzer changed %d times over 3 h, want ≈12", prodChanges)
+	}
+	_ = stepsPerFast
+}
+
+// TestContinuousAnalyzersMoveEveryStep: the default mode's first-order lag
+// output changes continuously under the same disturbance.
+func TestContinuousAnalyzersMoveEveryStep(t *testing.T) {
+	p := newTestProcess(t, Config{
+		NoMeasurementNoise: true,
+		StepSeconds:        4.5,
+		Seed:               5,
+	})
+	if err := p.SetIDV(0, true); err != nil {
+		t.Fatal(err)
+	}
+	changes := 0
+	prev := -1.0
+	for i := 0; i < 200; i++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+		v := p.TrueMeasurements()[XmeasFeedA]
+		if prev >= 0 && v != prev {
+			changes++
+		}
+		prev = v
+	}
+	if changes < 190 {
+		t.Errorf("continuous analyzer changed only %d/199 steps", changes)
+	}
+}
+
+// TestDiscreteAnalyzersPlausibleValues: held values stay within the same
+// physical range as the continuous readings.
+func TestDiscreteAnalyzersPlausibleValues(t *testing.T) {
+	p := newTestProcess(t, Config{NoMeasurementNoise: true, DiscreteAnalyzers: true, StepSeconds: 4.5})
+	for i := 0; i < 500; i++ {
+		if err := p.Step(); err != nil {
+			t.Fatal(err)
+		}
+		m := p.TrueMeasurements()
+		for j := XmeasFeedA; j <= XmeasProductH; j++ {
+			if m[j] < -1e-9 || m[j] > 100+1e-9 {
+				t.Fatalf("step %d: %s = %g out of [0,100]", i, XMEASNames[j], m[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,268 @@
+package te
+
+import (
+	"math"
+	"testing"
+)
+
+// stepPair advances a disturbed and an undisturbed process in lockstep for
+// the given number of steps and returns both.
+func stepPair(t *testing.T, idv int, steps int, noise bool, prep func(p *Process)) (with, without *Process) {
+	t.Helper()
+	mk := func(enable bool) *Process {
+		p, err := New(Config{
+			Seed:               9,
+			StepSeconds:        4.5,
+			NoProcessNoise:     !noise,
+			NoMeasurementNoise: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prep != nil {
+			prep(p)
+		}
+		if enable {
+			if err := p.SetIDV(idv, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < steps; i++ {
+			if err := p.Step(); err != nil {
+				t.Fatalf("IDV(%d) step %d: %v", idv+1, i, err)
+			}
+		}
+		return p
+	}
+	return mk(true), mk(false)
+}
+
+// channelSeries runs a process for steps and collects one true-measurement
+// channel.
+func channelSeries(t *testing.T, idv int, channel, steps int) (with, without []float64) {
+	t.Helper()
+	collect := func(enable bool) []float64 {
+		p, err := New(Config{Seed: 9, StepSeconds: 4.5, NoMeasurementNoise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if enable {
+			if err := p.SetIDV(idv, true); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make([]float64, steps)
+		for i := 0; i < steps; i++ {
+			if err := p.Step(); err != nil {
+				t.Fatalf("IDV(%d) step %d: %v", idv+1, i, err)
+			}
+			out[i] = p.TrueMeasurements()[channel]
+		}
+		return out
+	}
+	return collect(true), collect(false)
+}
+
+func variance(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, v := range xs {
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	return sumSq/n - mean*mean
+}
+
+// TestIDVStepEffects checks the deterministic (step-type) disturbances
+// against their documented direct effect.
+func TestIDVStepEffects(t *testing.T) {
+	const steps = 800 // 1 h at 4.5 s
+	tests := []struct {
+		name    string
+		idv     int // 0-based
+		channel int
+		// direction: +1 the channel must increase vs NOC, −1 decrease.
+		direction float64
+		minDelta  float64
+	}{
+		{"IDV(1) A/C ratio step lowers feed %A", 0, XmeasFeedA, -1, 0.3},
+		{"IDV(2) B step raises feed %B", 1, XmeasFeedB, +1, 0.3},
+		{"IDV(4) reactor CW inlet step raises CW outlet", 3, XmeasReactorCWTemp, +1, 1.0},
+		{"IDV(5) condenser CW inlet step raises CW outlet", 4, XmeasSepCWTemp, +1, 1.0},
+		{"IDV(6) A feed loss kills XMEAS(1)", 5, XmeasAFeed, -1, 0.2},
+		{"IDV(7) C header pressure loss cuts stream 4", 6, XmeasACFeed, -1, 1.0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			with, without := stepPair(t, tc.idv, steps, false, nil)
+			w := with.TrueMeasurements()[tc.channel]
+			wo := without.TrueMeasurements()[tc.channel]
+			delta := (w - wo) * tc.direction
+			if delta < tc.minDelta {
+				t.Errorf("channel %s: with=%g without=%g, want signed delta ≥ %g",
+					XMEASNames[tc.channel], w, wo, tc.minDelta)
+			}
+		})
+	}
+}
+
+// TestIDVRandomVariationEffects checks that the random-variation IDVs
+// inflate the variance of their target channel.
+func TestIDVRandomVariationEffects(t *testing.T) {
+	const steps = 2400 // 3 h at 4.5 s
+	tests := []struct {
+		name    string
+		idv     int
+		channel int
+		factor  float64 // required variance inflation
+	}{
+		{"IDV(8) feed composition variation inflates feed %A variance", 7, XmeasFeedA, 2},
+		{"IDV(11) reactor CW inlet variation inflates CW outlet variance", 10, XmeasReactorCWTemp, 2},
+		{"IDV(12) condenser CW inlet variation inflates CW outlet variance", 11, XmeasSepCWTemp, 2},
+		{"IDV(16) steam header variation inflates steam flow variance", 15, XmeasSteamFlow, 2},
+		{"IDV(20) compressor variation inflates work variance", 19, XmeasCompWork, 2},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			with, without := channelSeries(t, tc.idv, tc.channel, steps)
+			vw, vo := variance(with), variance(without)
+			if vw < tc.factor*vo {
+				t.Errorf("variance with IDV = %g, without = %g; want ≥ ×%g", vw, vo, tc.factor)
+			}
+		})
+	}
+}
+
+// TestIDVTemperatureVariations: IDV(9)/IDV(10) act through the mixed feed
+// temperature; their effect shows up as extra reactor-temperature motion.
+func TestIDVTemperatureVariations(t *testing.T) {
+	const steps = 2400
+	for _, tc := range []struct {
+		name string
+		idv  int
+	}{
+		{"IDV(9) D feed temperature variation", 8},
+		{"IDV(10) C feed temperature variation", 9},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			with, without := channelSeries(t, tc.idv, XmeasReactorTemp, steps)
+			// The open-loop reactor temperature drifts in both runs; the
+			// disturbed run must deviate measurably from the undisturbed
+			// trajectory.
+			var dev float64
+			for i := range with {
+				dev = math.Max(dev, math.Abs(with[i]-without[i]))
+			}
+			if dev < 0.02 {
+				t.Errorf("max trajectory deviation %g °C, want ≥ 0.02", dev)
+			}
+		})
+	}
+}
+
+// TestIDV13KineticsDrift: slow kinetics drift moves the reaction heat and
+// with it pressure/temperature over hours.
+func TestIDV13KineticsDrift(t *testing.T) {
+	const steps = 4800 // 6 h
+	with, without := channelSeries(t, 12, XmeasReactorPress, steps)
+	var dev float64
+	for i := range with {
+		dev = math.Max(dev, math.Abs(with[i]-without[i]))
+	}
+	if dev < 5 {
+		t.Errorf("max pressure deviation %g kPa over 6 h, want ≥ 5", dev)
+	}
+}
+
+// TestIDVValveSticking: the stiction IDVs freeze small commanded moves.
+func TestIDVValveSticking(t *testing.T) {
+	tests := []struct {
+		name    string
+		idv     int
+		xmv     int
+		channel int
+	}{
+		{"IDV(14) reactor CW valve sticks", 13, XmvReactorCW, XmeasReactorCWTemp},
+		{"IDV(15) condenser CW valve sticks", 14, XmvCondCW, XmeasSepCWTemp},
+		{"IDV(19) recycle valve sticks", 18, XmvRecycle, XmeasRecycle},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			// Command a sub-band move (±1 % < the 2 % stiction band): the
+			// sticking valve must not respond; the healthy one must.
+			run := func(enable bool) float64 {
+				p, err := New(Config{Seed: 9, StepSeconds: 4.5, NoProcessNoise: true, NoMeasurementNoise: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if enable {
+					if err := p.SetIDV(tc.idv, true); err != nil {
+						t.Fatal(err)
+					}
+				}
+				// Prime, then command a +1 % move and settle.
+				for i := 0; i < 50; i++ {
+					if err := p.Step(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				base := p.TrueMeasurements()[tc.channel]
+				if err := p.SetXMV(tc.xmv, BaseXMV[tc.xmv]+1.0); err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 100; i++ {
+					if err := p.Step(); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return math.Abs(p.TrueMeasurements()[tc.channel] - base)
+			}
+			respSticking := run(true)
+			respHealthy := run(false)
+			if respHealthy <= 0 {
+				t.Fatalf("healthy valve produced no response")
+			}
+			if respSticking > 0.5*respHealthy {
+				t.Errorf("sticking valve responded %.3g vs healthy %.3g; want suppressed", respSticking, respHealthy)
+			}
+		})
+	}
+}
+
+// TestIDVFoulingDrifts: IDV(17)/IDV(18) degrade heat transfer, so the
+// affected temperature rises relative to NOC at fixed valve positions.
+func TestIDVFoulingDrifts(t *testing.T) {
+	const steps = 6400 // 8 h: fouling drifts at 1 %/h
+	tests := []struct {
+		name    string
+		idv     int
+		channel int
+	}{
+		{"IDV(17) reactor fouling raises reactor temperature", 16, XmeasReactorTemp},
+		{"IDV(18) condenser fouling raises separator temperature", 17, XmeasSepTemp},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			with, without := channelSeries(t, tc.idv, tc.channel, steps)
+			last := len(with) - 1
+			if with[last] <= without[last] {
+				t.Errorf("temperature with fouling %g ≤ without %g", with[last], without[last])
+			}
+		})
+	}
+}
+
+// TestIDV3DFeedTempStep: the D feed temperature step perturbs the reactor
+// temperature trajectory.
+func TestIDV3DFeedTempStep(t *testing.T) {
+	const steps = 1600
+	with, without := channelSeries(t, 2, XmeasReactorTemp, steps)
+	var dev float64
+	for i := range with {
+		dev = math.Max(dev, math.Abs(with[i]-without[i]))
+	}
+	if dev < 0.02 {
+		t.Errorf("max reactor temperature deviation %g °C, want ≥ 0.02", dev)
+	}
+}
