@@ -256,6 +256,73 @@ func BenchmarkAbl_RunRule(b *testing.B) {
 	}
 }
 
+// --- Streaming vs batch ---
+
+// benchScenarioRun measures one full scenario run end to end (simulate +
+// analyze). With earlyStop the streaming path halts the simulation shortly
+// after the alarm; the samples/op metric shows the work saved against the
+// full-run batch protocol.
+func benchScenarioRun(b *testing.B, earlyStop bool) {
+	f := fixture(b)
+	sc := pcsmon.PaperScenarios(benchOnset)[1] // integrity on XMV(3)
+	exp := &scenario.Experiment{
+		Template:  f.lab.Template,
+		System:    f.lab.System,
+		Hours:     benchHours,
+		OnsetHour: benchOnset,
+		Decimate:  2,
+		SeedBase:  31337,
+		Workers:   1,
+		EarlyStop: earlyStop,
+	}
+	b.ResetTimer()
+	var samples int
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Run(sc, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		samples = res.Runs[0].Samples
+		if earlyStop && !res.Runs[0].Stopped {
+			b.Fatal("early-stop run was not stopped")
+		}
+	}
+	b.ReportMetric(float64(samples), "samples/op")
+}
+
+// BenchmarkScenario_BatchFullRun simulates the full horizon, records both
+// views and analyzes afterwards — the paper's offline protocol.
+func BenchmarkScenario_BatchFullRun(b *testing.B) { benchScenarioRun(b, false) }
+
+// BenchmarkScenario_StreamEarlyStop fuses simulation and monitoring and
+// stops as soon as the verdict is settled.
+func BenchmarkScenario_StreamEarlyStop(b *testing.B) { benchScenarioRun(b, true) }
+
+// BenchmarkOnlineAnalyzerStream measures the incremental analysis path over
+// a prerecorded run (per-observation scoring cost and allocations),
+// comparable to BenchmarkTab_Verdicts for the batch wrapper.
+func BenchmarkOnlineAnalyzerStream(b *testing.B) {
+	f := fixture(b)
+	onsetIdx := int(benchOnset * 3600 / 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		oa, err := f.lab.System.NewOnlineAnalyzer(onsetIdx, 9*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for r := 0; r < f.nocCtrl.Rows(); r++ {
+			if _, err := oa.Push(f.nocCtrl.RowView(r), f.nocProc.RowView(r)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := oa.Finish(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(f.nocCtrl.Rows()), "obs/op")
+}
+
 // --- Micro-benchmarks of the substrates ---
 
 // BenchmarkTEStep measures one closed-loop plant step (process + control +

@@ -8,15 +8,27 @@
 //	tesim -hours 24 -out noc
 //	tesim -hours 24 -attack integrity:xmv:3:10:0 -out atk
 //	mspctool -cal noc-process.csv -ctrl atk-controller.csv -proc atk-process.csv -onset-hour 10 -sample 4.5
+//
+// The watch subcommand turns the tool into an online monitor: it scores
+// CSV rows as they arrive on stdin against a model calibrated from -cal,
+// printing alarms the moment the run rule fires and the classified report
+// at end of stream:
+//
+//	tesim -hours 24 -attack dos:xmv:3:10 -out live
+//	mspctool watch -cal noc-process.csv -proc live-process.csv -sample 4.5 <live-controller.csv
 package main
 
 import (
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strconv"
 	"time"
 
+	"pcsmon"
 	"pcsmon/internal/core"
 	"pcsmon/internal/dataset"
 	"pcsmon/internal/historian"
@@ -31,6 +43,9 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 && args[0] == "watch" {
+		return runWatch(args[1:], os.Stdin, os.Stdout)
+	}
 	fs := flag.NewFlagSet("mspctool", flag.ContinueOnError)
 	var (
 		calPath    = fs.String("cal", "", "NOC calibration CSV (required)")
@@ -52,10 +67,6 @@ func run(args []string) error {
 		*procPath = *ctrlPath
 	}
 
-	cal, err := readCSV(*calPath)
-	if err != nil {
-		return err
-	}
 	ctrl, err := readCSV(*ctrlPath)
 	if err != nil {
 		return err
@@ -65,13 +76,10 @@ func run(args []string) error {
 		return err
 	}
 
-	sys, err := core.Calibrate(cal, core.Config{Components: *components})
+	sys, err := calibrateFrom(*calPath, *components, os.Stdout)
 	if err != nil {
 		return err
 	}
-	mon := sys.Monitor()
-	fmt.Printf("calibrated on %d observations: A=%d components, limits D99=%.2f Q99=%.2f\n",
-		cal.Rows(), mon.Model().NComponents(), mon.Limits().D99, mon.Limits().Q99)
 
 	sample := time.Duration(*sampleSec * float64(time.Second))
 	onset := int(*onsetHour * 3600 / *sampleSec)
@@ -87,6 +95,150 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// runWatch implements the watch subcommand: score CSV rows from stdin
+// against a model calibrated from -cal, as an online monitor would —
+// alarms print the moment the run rule fires, the classified report at end
+// of stream. With -proc a process-view CSV is consumed in lockstep so the
+// two-view diagnosis can localize forged channels; without it the stdin
+// rows serve as both views (plain single-stream MSPC monitoring).
+func runWatch(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("mspctool watch", flag.ContinueOnError)
+	var (
+		calPath    = fs.String("cal", "", "NOC calibration CSV (required)")
+		procPath   = fs.String("proc", "", "process-view CSV read in lockstep with stdin")
+		onsetHour  = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known")
+		sampleSec  = fs.Float64("sample", 4.5, "observation interval of the monitored stream [s]")
+		components = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
+		every      = fs.Int("every", 0, "print chart statistics every N observations (0 = alarms only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *calPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-cal is required")
+	}
+	if *sampleSec <= 0 {
+		return fmt.Errorf("-sample must be positive")
+	}
+	sys, err := calibrateFrom(*calPath, *components, out)
+	if err != nil {
+		return err
+	}
+
+	ctrlFeed, err := newCSVStream(in)
+	if err != nil {
+		return fmt.Errorf("stdin: %w", err)
+	}
+	var procFeed *csvStream
+	if *procPath != "" {
+		f, err := os.Open(*procPath)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = f.Close() }()
+		procFeed, err = newCSVStream(f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *procPath, err)
+		}
+	}
+	feed := func() (ctrl, proc []float64, err error) {
+		crow, err := ctrlFeed.next()
+		if err != nil {
+			return nil, nil, err // io.EOF ends the stream
+		}
+		if procFeed == nil {
+			return crow, crow, nil
+		}
+		prow, err := procFeed.next()
+		if err == io.EOF {
+			return crow, nil, nil // process view exhausted; keep watching stdin
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return crow, prow, nil
+	}
+	emit := func(ev pcsmon.StreamEvent) {
+		switch e := ev.(type) {
+		case pcsmon.SampleScored:
+			if *every > 0 && e.Index%*every == 0 {
+				fmt.Fprintf(out, "obs %6d  ctrl D=%8.2f Q=%8.2f   proc D=%8.2f Q=%8.2f\n",
+					e.Index, e.CtrlD, e.CtrlQ, e.ProcD, e.ProcQ)
+			}
+		case pcsmon.AlarmRaised:
+			fmt.Fprintf(out, "ALARM [%s] at obs %d (run start %d, charts %v)\n",
+				e.View, e.Index, e.RunStart, e.Charts)
+		case pcsmon.VerdictReady:
+			fmt.Fprintf(out, "\nend of stream after %d observations\n\n", e.Samples)
+		}
+	}
+	onset := int(*onsetHour * 3600 / *sampleSec)
+	sample := time.Duration(*sampleSec * float64(time.Second))
+	rep, err := pcsmon.Stream(sys, onset, sample, feed, emit)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, rep.Render())
+	return nil
+}
+
+// calibrateFrom builds the monitoring system from a NOC CSV — the one
+// calibration path shared by the batch and watch subcommands — and prints
+// the calibration summary.
+func calibrateFrom(calPath string, components int, out io.Writer) (*core.System, error) {
+	cal, err := readCSV(calPath)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := core.Calibrate(cal, core.Config{Components: components})
+	if err != nil {
+		return nil, err
+	}
+	mon := sys.Monitor()
+	fmt.Fprintf(out, "calibrated on %d observations: A=%d components, limits D99=%.2f Q99=%.2f\n",
+		cal.Rows(), mon.Model().NComponents(), mon.Limits().D99, mon.Limits().Q99)
+	return sys, nil
+}
+
+// csvStream reads a historian-format CSV one row at a time, reusing one
+// row buffer — the streaming complement of dataset.ReadCSV.
+type csvStream struct {
+	r    *csv.Reader
+	row  []float64
+	line int
+}
+
+func newCSVStream(r io.Reader) (*csvStream, error) {
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	if len(header) != historian.NumVars {
+		return nil, fmt.Errorf("stream has %d columns, want %d", len(header), historian.NumVars)
+	}
+	return &csvStream{r: cr, row: make([]float64, len(header)), line: 1}, nil
+}
+
+// next parses the next row. The returned slice is reused on the next call.
+func (s *csvStream) next() ([]float64, error) {
+	rec, err := s.r.Read()
+	if err != nil {
+		return nil, err // io.EOF passes through untouched
+	}
+	s.line++
+	for j, f := range rec {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d field %d %q: not a number", s.line, j+1, f)
+		}
+		s.row[j] = v
+	}
+	return s.row, nil
 }
 
 func readCSV(path string) (*dataset.Dataset, error) {

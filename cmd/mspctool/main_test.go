@@ -1,9 +1,11 @@
 package main
 
 import (
+	"bytes"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"pcsmon/internal/dataset"
@@ -68,6 +70,66 @@ func TestMspctoolEndToEnd(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatalf("mspctool: %v", err)
+	}
+}
+
+func TestWatchSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	ctrl := filepath.Join(dir, "ctrl.csv")
+	proc := filepath.Join(dir, "proc.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	writeSynthetic(t, ctrl, 3, 300, 0, 150, -25)
+	writeSynthetic(t, proc, 3, 300, 0, 150, +25)
+
+	in, err := os.Open(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = in.Close() }()
+	var out bytes.Buffer
+	err = runWatch([]string{
+		"-cal", cal,
+		"-proc", proc,
+		"-onset-hour", "0.375",
+		"-sample", "9",
+		"-every", "100",
+	}, in, &out)
+	if err != nil {
+		t.Fatalf("watch: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{"calibrated on 800 observations", "ALARM [", "VERDICT:", "end of stream after 300 observations"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("watch output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestWatchSingleView(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	ctrl := filepath.Join(dir, "ctrl.csv")
+	writeSynthetic(t, cal, 7, 800, -1, -1, 0)
+	writeSynthetic(t, ctrl, 7, 260, 2, 130, -30)
+	in, err := os.Open(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = in.Close() }()
+	var out bytes.Buffer
+	if err := runWatch([]string{"-cal", cal, "-sample", "9"}, in, &out); err != nil {
+		t.Fatalf("watch: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ALARM [") {
+		t.Errorf("single-view watch raised no alarm:\n%s", out.String())
+	}
+}
+
+func TestWatchRequiresCal(t *testing.T) {
+	var out bytes.Buffer
+	if err := runWatch(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -cal accepted")
 	}
 }
 

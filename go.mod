@@ -1,0 +1,3 @@
+module pcsmon
+
+go 1.24

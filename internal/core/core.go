@@ -238,6 +238,11 @@ type Report struct {
 // onset is the observation index at which the anomaly was injected (used
 // for run-length accounting; pass 0 if unknown). sample is the observation
 // interval.
+//
+// It is a thin wrapper over the incremental path: the rows are replayed
+// through an OnlineAnalyzer, so the batch and streaming analyses share one
+// implementation (and one result). Views of unequal length are supported;
+// the replay stops early once the report can no longer change.
 func (s *System) AnalyzeViews(ctrl, proc *dataset.Dataset, onset int, sample time.Duration) (*Report, error) {
 	if s == nil || s.monitor == nil {
 		return nil, ErrNotCalibrated
@@ -248,177 +253,32 @@ func (s *System) AnalyzeViews(ctrl, proc *dataset.Dataset, onset int, sample tim
 	if ctrl.Cols() != historian.NumVars || proc.Cols() != historian.NumVars {
 		return nil, fmt.Errorf("core: views must have %d cols: %w", historian.NumVars, ErrBadInput)
 	}
-	cv, err := s.analyzeView(ctrl, onset, sample)
+	oa, err := s.NewOnlineAnalyzer(onset, sample)
 	if err != nil {
 		return nil, err
 	}
-	pv, err := s.analyzeView(proc, onset, sample)
-	if err != nil {
-		return nil, err
-	}
-	rep := &Report{Controller: *cv, Process: *pv, AttackedVar: -1}
-	s.frozenChannels(rep, ctrl, proc)
-	s.classify(rep)
-	return rep, nil
-}
-
-// frozenChannels fills Report.FrozenProc/FrozenCtrl: channels whose
-// variance collapsed in one view over the diagnosis window while the other
-// view keeps normal variation — the hold-last-value (DoS) signature.
-func (s *System) frozenChannels(rep *Report, ctrl, proc *dataset.Dataset) {
-	start := -1
-	switch {
-	case rep.Controller.Detected && rep.Process.Detected:
-		start = rep.Controller.RunStart
-		if rep.Process.RunStart < start {
-			start = rep.Process.RunStart
-		}
-	case rep.Controller.Detected:
-		start = rep.Controller.RunStart
-	case rep.Process.Detected:
-		start = rep.Process.RunStart
-	default:
-		return
-	}
-	end := start + s.cfg.DiagnoseWindow
 	n := ctrl.Rows()
-	if proc.Rows() < n {
+	if proc.Rows() > n {
 		n = proc.Rows()
 	}
-	if end > n {
-		end = n
-	}
-	if end-start < 4 {
-		return // too few samples to judge variance
-	}
-	calStds := s.monitor.Scaler().Stds()
-	calMeans := s.monitor.Scaler().Means()
-	const (
-		frozenFrac = 0.05 // window std below this fraction of calibration std
-		// divergeSigmas: the two views must have drifted apart — a channel
-		// frozen *and* agreeing with its peer view is just quiet.
-		divergeSigmas = 1.0
-		// nearSigmas: a *held* value sits near the recent (in-distribution)
-		// signal; a constant forged far from the calibration mean is an
-		// integrity payload, not a hold-last-value DoS.
-		nearSigmas = 4.0
-	)
-	for j := 0; j < ctrl.Cols(); j++ {
-		if calStds[j] <= minUsefulStd {
-			continue // channel constant already in calibration
+	for i := 0; i < n && !oa.Settled(); i++ {
+		var cr, pr []float64
+		if i < ctrl.Rows() {
+			cr = ctrl.RowView(i)
 		}
-		sc, mc := windowStdMean(ctrl, j, start, end)
-		sp, mp := windowStdMean(proc, j, start, end)
-		diverged := math.Abs(mc-mp) > divergeSigmas*calStds[j]
-		if diverged {
-			rep.Diverged = append(rep.Diverged, j)
+		if i < proc.Rows() {
+			pr = proc.RowView(i)
 		}
-		if sp < frozenFrac*calStds[j] && diverged &&
-			math.Abs(mp-calMeans[j]) <= nearSigmas*calStds[j] {
-			rep.FrozenProc = append(rep.FrozenProc, j)
-		}
-		if sc < frozenFrac*calStds[j] && diverged &&
-			math.Abs(mc-calMeans[j]) <= nearSigmas*calStds[j] {
-			rep.FrozenCtrl = append(rep.FrozenCtrl, j)
+		if _, err := oa.Push(cr, pr); err != nil {
+			return nil, err
 		}
 	}
+	return oa.Finish()
 }
 
 // minUsefulStd guards against channels that are constant in calibration
 // (their scaler divisor is a placeholder 1).
 const minUsefulStd = 1e-9
-
-func windowStdMean(d *dataset.Dataset, col, from, to int) (std, mean float64) {
-	var sum, sumSq float64
-	n := float64(to - from)
-	for i := from; i < to; i++ {
-		v := d.RowView(i)[col]
-		sum += v
-		sumSq += v * v
-	}
-	mean = sum / n
-	varr := sumSq/n - mean*mean
-	if varr < 0 {
-		varr = 0
-	}
-	return math.Sqrt(varr), mean
-}
-
-func (s *System) analyzeView(view *dataset.Dataset, onset int, sample time.Duration) (*ViewAnalysis, error) {
-	va := &ViewAnalysis{}
-	lim := s.monitor.Limits()
-	runLen, runStart := 0, 0
-	for i := 0; i < view.Rows(); i++ {
-		st, err := s.monitor.Compute(view.RowView(i))
-		if err != nil {
-			return nil, fmt.Errorf("core: detection at row %d: %w", i, err)
-		}
-		overD := st.D > lim.D99
-		overQ := st.Q > lim.Q99
-		if overD || overQ {
-			if runLen == 0 {
-				runStart = i
-			}
-			runLen++
-		} else {
-			runLen = 0
-		}
-		if runLen >= s.cfg.RunLength {
-			if i < onset {
-				// Pre-onset alarm: note nothing, keep scanning for the
-				// real event.
-				runLen = 0
-				continue
-			}
-			va.Detected = true
-			va.DetectionIndex = i
-			va.RunStart = runStart
-			va.RunLengthSamples = i - onset + 1
-			va.Time = time.Duration(va.RunLengthSamples) * sample
-			if overD {
-				va.Charts = append(va.Charts, mspc.ChartD)
-			}
-			if overQ {
-				va.Charts = append(va.Charts, mspc.ChartQ)
-			}
-			break
-		}
-	}
-	if !va.Detected {
-		return va, nil
-	}
-	// Diagnosis: oMEDA over the first out-of-control observations.
-	rows, err := s.diagnosisRows(view, va.RunStart)
-	if err != nil {
-		return nil, err
-	}
-	vals, err := s.DiagnoseGroup(rows)
-	if err != nil {
-		return nil, err
-	}
-	va.OMEDA = vals
-	va.Top, err = omeda.TopVariables(vals, s.cfg.TopFrac)
-	if err != nil {
-		return nil, err
-	}
-	va.Dominance = omeda.DominanceRatio(vals)
-	return va, nil
-}
-
-func (s *System) diagnosisRows(view *dataset.Dataset, runStart int) ([][]float64, error) {
-	end := runStart + s.cfg.DiagnoseWindow
-	if end > view.Rows() {
-		end = view.Rows()
-	}
-	if end <= runStart {
-		return nil, fmt.Errorf("core: empty diagnosis window: %w", ErrBadInput)
-	}
-	rows := make([][]float64, 0, end-runStart)
-	for i := runStart; i < end; i++ {
-		rows = append(rows, view.RowView(i))
-	}
-	return rows, nil
-}
 
 // DiagnoseGroup computes the oMEDA profile of a group of observations in
 // engineering units (rows of 53 variables) against the calibrated model —

@@ -76,13 +76,26 @@ type Frame struct {
 
 // Marshal encodes the frame with its CRC-32 trailer.
 func (f *Frame) Marshal() ([]byte, error) {
+	return f.MarshalTo(nil)
+}
+
+// MarshalTo encodes the frame into dst when its capacity suffices,
+// otherwise into a fresh buffer — the allocation-free path for per-sample
+// wire traffic. It returns the encoded slice.
+func (f *Frame) MarshalTo(dst []byte) ([]byte, error) {
 	if f.Type != FrameSensor && f.Type != FrameActuator {
 		return nil, fmt.Errorf("fieldbus: marshal type %d: %w", int(f.Type), ErrBadFrame)
 	}
 	if len(f.Values) == 0 || len(f.Values) > MaxValues {
 		return nil, fmt.Errorf("fieldbus: marshal %d values: %w", len(f.Values), ErrBadFrame)
 	}
-	buf := make([]byte, headerBytes+8*len(f.Values)+crcBytes)
+	n := headerBytes + 8*len(f.Values) + crcBytes
+	var buf []byte
+	if cap(dst) >= n {
+		buf = dst[:n]
+	} else {
+		buf = make([]byte, n)
+	}
 	binary.BigEndian.PutUint16(buf[0:], frameMagic)
 	buf[2] = byte(f.Type)
 	buf[3] = f.Unit
@@ -100,40 +113,53 @@ func (f *Frame) Marshal() ([]byte, error) {
 
 // Unmarshal decodes a frame, verifying magic and CRC.
 func Unmarshal(data []byte) (*Frame, error) {
+	f := &Frame{}
+	if err := f.UnmarshalInto(data); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// UnmarshalInto decodes a frame into f, verifying magic and CRC. The
+// Values slice is reused when its capacity suffices, so a long-lived frame
+// decodes per-sample traffic without allocating.
+func (f *Frame) UnmarshalInto(data []byte) error {
 	if len(data) < headerBytes+crcBytes {
-		return nil, fmt.Errorf("fieldbus: %d bytes: %w", len(data), ErrFrameTooShort)
+		return fmt.Errorf("fieldbus: %d bytes: %w", len(data), ErrFrameTooShort)
 	}
 	if binary.BigEndian.Uint16(data[0:]) != frameMagic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	count := int(binary.BigEndian.Uint16(data[12:]))
 	if count == 0 || count > MaxValues {
-		return nil, fmt.Errorf("fieldbus: count %d: %w", count, ErrBadFrame)
+		return fmt.Errorf("fieldbus: count %d: %w", count, ErrBadFrame)
 	}
 	want := headerBytes + 8*count + crcBytes
 	if len(data) < want {
-		return nil, fmt.Errorf("fieldbus: need %d bytes, have %d: %w", want, len(data), ErrFrameTooShort)
+		return fmt.Errorf("fieldbus: need %d bytes, have %d: %w", want, len(data), ErrFrameTooShort)
 	}
 	body := data[:want-crcBytes]
 	crc := binary.BigEndian.Uint32(data[want-crcBytes:])
 	if crc32.ChecksumIEEE(body) != crc {
-		return nil, ErrBadCRC
+		return ErrBadCRC
 	}
-	f := &Frame{
-		Type:   FrameType(data[2]),
-		Unit:   data[3],
-		Seq:    binary.BigEndian.Uint64(data[4:]),
-		Values: make([]float64, count),
+	if t := FrameType(data[2]); t != FrameSensor && t != FrameActuator {
+		return fmt.Errorf("fieldbus: type %d: %w", data[2], ErrBadFrame)
 	}
-	if f.Type != FrameSensor && f.Type != FrameActuator {
-		return nil, fmt.Errorf("fieldbus: type %d: %w", data[2], ErrBadFrame)
+	f.Type = FrameType(data[2])
+	f.Unit = data[3]
+	f.Seq = binary.BigEndian.Uint64(data[4:])
+	if cap(f.Values) >= count {
+		f.Values = f.Values[:count]
+	} else {
+		f.Values = make([]float64, count)
 	}
 	off := headerBytes
 	for i := 0; i < count; i++ {
 		f.Values[i] = math.Float64frombits(binary.BigEndian.Uint64(body[off:]))
 		off += 8
 	}
-	return f, nil
+	return nil
 }
 
 // EncodedSize returns the wire size of a frame carrying n values.

@@ -27,6 +27,13 @@ type Link struct {
 	// Last delivered blocks (what each end most recently received).
 	lastSensor   []float64
 	lastActuator []float64
+
+	// Per-link scratch buffers, reused across sends (guarded by mu): the
+	// closed-loop path transmits two frames per plant sample, so codec
+	// round-trips must not allocate.
+	sendFrame Frame
+	recvFrame Frame
+	wire      []byte
 }
 
 // NewLink returns an open link with no taps installed.
@@ -70,39 +77,53 @@ func (l *Link) send(t FrameType, values []float64) ([]float64, error) {
 	if len(values) == 0 || len(values) > MaxValues {
 		return nil, fmt.Errorf("fieldbus: send %d values: %w", len(values), ErrBadFrame)
 	}
-	f := &Frame{Type: t, Values: append([]float64(nil), values...)}
+	l.sendFrame.Type = t
+	l.sendFrame.Unit = 0
+	l.sendFrame.Values = reuseCopy(l.sendFrame.Values, values)
 	var tap Tap
 	switch t {
 	case FrameSensor:
 		l.sensorSeq++
-		f.Seq = l.sensorSeq
+		l.sendFrame.Seq = l.sensorSeq
 		tap = l.sensorTap
 	case FrameActuator:
 		l.actuatorSeq++
-		f.Seq = l.actuatorSeq
+		l.sendFrame.Seq = l.actuatorSeq
 		tap = l.actuatorTap
 	}
 	// Round-trip through the codec: the tap sees exactly what a network
 	// attacker would see, and codec bugs cannot hide in the in-memory path.
-	wire, err := f.Marshal()
+	wire, err := l.sendFrame.MarshalTo(l.wire)
 	if err != nil {
 		return nil, err
 	}
-	recv, err := Unmarshal(wire)
-	if err != nil {
+	l.wire = wire
+	if err := l.recvFrame.UnmarshalInto(wire); err != nil {
 		return nil, err
 	}
 	if tap != nil {
-		tap(recv)
+		tap(&l.recvFrame)
 	}
-	out := append([]float64(nil), recv.Values...)
+	out := append([]float64(nil), l.recvFrame.Values...)
 	switch t {
 	case FrameSensor:
-		l.lastSensor = out
+		l.lastSensor = reuseCopy(l.lastSensor, out)
 	case FrameActuator:
-		l.lastActuator = out
+		l.lastActuator = reuseCopy(l.lastActuator, out)
 	}
-	return append([]float64(nil), out...), nil
+	return out, nil
+}
+
+// reuseCopy copies src into dst, reusing dst's backing array when its
+// capacity suffices.
+func reuseCopy(dst, src []float64) []float64 {
+	if cap(dst) >= len(src) {
+		dst = dst[:len(src)]
+	} else {
+		dst = make([]float64, len(src))
+	}
+	copy(dst, src)
+	return dst
 }
 
 // LastSensor returns a copy of the sensor block most recently delivered to

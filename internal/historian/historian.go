@@ -72,16 +72,26 @@ func XMEASIndex(j int) int {
 // Observation assembles the 53-variable observation vector from an XMEAS
 // block and an XMV block.
 func Observation(xmeas, xmv []float64) ([]float64, error) {
+	row := make([]float64, NumVars)
+	if err := assembleInto(row, xmeas, xmv); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// assembleInto validates the blocks and writes the observation layout
+// [XMEAS(1..41), XMV(1..12)] into dst (len NumVars) — the single source of
+// truth for the row format, shared by Observation and the recorders.
+func assembleInto(dst, xmeas, xmv []float64) error {
 	if len(xmeas) != te.NumXMEAS {
-		return nil, fmt.Errorf("historian: xmeas len %d != %d: %w", len(xmeas), te.NumXMEAS, ErrBadInput)
+		return fmt.Errorf("historian: xmeas len %d != %d: %w", len(xmeas), te.NumXMEAS, ErrBadInput)
 	}
 	if len(xmv) != te.NumXMV {
-		return nil, fmt.Errorf("historian: xmv len %d != %d: %w", len(xmv), te.NumXMV, ErrBadInput)
+		return fmt.Errorf("historian: xmv len %d != %d: %w", len(xmv), te.NumXMV, ErrBadInput)
 	}
-	row := make([]float64, 0, NumVars)
-	row = append(row, xmeas...)
-	row = append(row, xmv...)
-	return row, nil
+	copy(dst, xmeas)
+	copy(dst[te.NumXMEAS:], xmv)
+	return nil
 }
 
 // Recorder accumulates observations of one view, optionally downsampling
@@ -90,6 +100,8 @@ type Recorder struct {
 	data     *dataset.Dataset
 	decimate int
 	seen     int
+	retain   bool
+	scratch  []float64
 }
 
 // NewRecorder returns a recorder keeping one of every decimate samples
@@ -102,21 +114,44 @@ func NewRecorder(decimate int) (*Recorder, error) {
 	if err != nil {
 		return nil, fmt.Errorf("historian: %w", err)
 	}
-	return &Recorder{data: d, decimate: decimate}, nil
+	return &Recorder{
+		data:     d,
+		decimate: decimate,
+		retain:   true,
+		scratch:  make([]float64, NumVars),
+	}, nil
 }
+
+// SetRetain toggles storage of observations in the dataset. With retention
+// off the recorder becomes a pure streaming feed — rows are assembled into
+// a reused scratch buffer for the tap and memory stays O(1) regardless of
+// run length.
+func (r *Recorder) SetRetain(keep bool) { r.retain = keep }
 
 // Record stores one observation assembled from the given blocks, honouring
 // the decimation setting.
 func (r *Recorder) Record(xmeas, xmv []float64) error {
+	_, err := r.record(xmeas, xmv)
+	return err
+}
+
+// record assembles the observation into the scratch buffer and returns it,
+// or nil when the sample is decimated out. The returned slice is reused on
+// the next call.
+func (r *Recorder) record(xmeas, xmv []float64) ([]float64, error) {
 	r.seen++
 	if (r.seen-1)%r.decimate != 0 {
-		return nil
+		return nil, nil
 	}
-	row, err := Observation(xmeas, xmv)
-	if err != nil {
-		return err
+	if err := assembleInto(r.scratch, xmeas, xmv); err != nil {
+		return nil, err
 	}
-	return r.data.Append(row)
+	if r.retain {
+		if err := r.data.Append(r.scratch); err != nil {
+			return nil, err
+		}
+	}
+	return r.scratch, nil
 }
 
 // Rows returns the number of retained observations.
@@ -126,11 +161,22 @@ func (r *Recorder) Rows() int { return r.data.Rows() }
 // should not be used after handing its data to analysis).
 func (r *Recorder) Data() *dataset.Dataset { return r.data }
 
+// Tap observes one retained (post-decimation) paired observation as it is
+// recorded: the streaming feed of the online monitoring path. The rows are
+// reused buffers, valid only for the duration of the call — copy what must
+// outlive it. An error returned by the tap aborts the recording step and
+// propagates (wrapped) to the caller, which is how a streaming consumer
+// halts a simulation early.
+type Tap func(index int, ctrl, proc []float64) error
+
 // TwoView couples the controller-view and process-view recorders of one
 // run.
 type TwoView struct {
 	Controller *Recorder
 	Process    *Recorder
+
+	tap    Tap
+	tapped int // retained pairs delivered to the tap
 }
 
 // NewTwoView builds both recorders with a shared decimation factor.
@@ -146,15 +192,41 @@ func NewTwoView(decimate int) (*TwoView, error) {
 	return &TwoView{Controller: c, Process: p}, nil
 }
 
+// SetTap installs (or clears, with nil) the per-observation streaming tap.
+func (tv *TwoView) SetTap(fn Tap) { tv.tap = fn }
+
+// SetRetain toggles dataset storage on both recorders. Streaming consumers
+// that only need the tap can switch retention off to keep memory O(1).
+func (tv *TwoView) SetRetain(keep bool) {
+	tv.Controller.SetRetain(keep)
+	tv.Process.SetRetain(keep)
+}
+
 // Record stores one sample into both views.
 //
 //   - ctrlXMEAS: what the controller received (possibly forged)
 //   - ctrlXMV:   what the controller sent
 //   - procXMEAS: what the sensors actually measured
 //   - procXMV:   what the actuators actually received (possibly forged)
+//
+// When a tap is installed it sees every retained pair in order.
 func (tv *TwoView) Record(ctrlXMEAS, ctrlXMV, procXMEAS, procXMV []float64) error {
-	if err := tv.Controller.Record(ctrlXMEAS, ctrlXMV); err != nil {
+	crow, err := tv.Controller.record(ctrlXMEAS, ctrlXMV)
+	if err != nil {
 		return err
 	}
-	return tv.Process.Record(procXMEAS, procXMV)
+	prow, err := tv.Process.record(procXMEAS, procXMV)
+	if err != nil {
+		return err
+	}
+	// Both recorders share the decimation cadence, so the rows are either
+	// both retained or both decimated out.
+	if crow != nil && prow != nil && tv.tap != nil {
+		idx := tv.tapped
+		tv.tapped++
+		if err := tv.tap(idx, crow, prow); err != nil {
+			return fmt.Errorf("historian: tap at observation %d: %w", idx, err)
+		}
+	}
+	return nil
 }

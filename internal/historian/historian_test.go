@@ -103,6 +103,96 @@ func TestRecorderDefaultKeepsAll(t *testing.T) {
 	}
 }
 
+func TestTwoViewTapSeesDecimatedPairs(t *testing.T) {
+	tv, err := NewTwoView(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct {
+		idx        int
+		ctrl, proc float64
+	}
+	var seen []pair
+	tv.SetTap(func(idx int, ctrl, proc []float64) error {
+		if len(ctrl) != NumVars || len(proc) != NumVars {
+			t.Fatalf("tap rows %d/%d vars", len(ctrl), len(proc))
+		}
+		seen = append(seen, pair{idx, ctrl[0], proc[0]})
+		return nil
+	})
+	cm := make([]float64, te.NumXMEAS)
+	pm := make([]float64, te.NumXMEAS)
+	xmv := make([]float64, te.NumXMV)
+	for i := 0; i < 10; i++ {
+		cm[0] = float64(i)
+		pm[0] = float64(i) + 100
+		if err := tv.Record(cm, xmv, pm, xmv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Samples 0, 3, 6, 9 are retained and tapped, with contiguous indices.
+	if len(seen) != 4 {
+		t.Fatalf("tap saw %d pairs, want 4", len(seen))
+	}
+	for i, p := range seen {
+		if p.idx != i {
+			t.Errorf("tap index %d, want %d", p.idx, i)
+		}
+		if p.ctrl != float64(3*i) || p.proc != float64(3*i)+100 {
+			t.Errorf("tap pair %d = (%g, %g), want (%g, %g)", i, p.ctrl, p.proc, float64(3*i), float64(3*i)+100)
+		}
+	}
+}
+
+func TestTwoViewNoRetainStreamsWithoutStorage(t *testing.T) {
+	tv, err := NewTwoView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tv.SetRetain(false)
+	taps := 0
+	tv.SetTap(func(idx int, ctrl, proc []float64) error {
+		taps++
+		return nil
+	})
+	cm := make([]float64, te.NumXMEAS)
+	xmv := make([]float64, te.NumXMV)
+	for i := 0; i < 7; i++ {
+		if err := tv.Record(cm, xmv, cm, xmv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if taps != 7 {
+		t.Errorf("tap saw %d samples, want 7", taps)
+	}
+	if tv.Controller.Rows() != 0 || tv.Process.Rows() != 0 {
+		t.Errorf("no-retain mode stored %d/%d rows", tv.Controller.Rows(), tv.Process.Rows())
+	}
+}
+
+func TestTwoViewTapErrorPropagates(t *testing.T) {
+	tv, err := NewTwoView(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("stop here")
+	tv.SetTap(func(idx int, ctrl, proc []float64) error {
+		if idx == 2 {
+			return sentinel
+		}
+		return nil
+	})
+	cm := make([]float64, te.NumXMEAS)
+	xmv := make([]float64, te.NumXMV)
+	var got error
+	for i := 0; i < 5 && got == nil; i++ {
+		got = tv.Record(cm, xmv, cm, xmv)
+	}
+	if !errors.Is(got, sentinel) {
+		t.Errorf("tap error not propagated: %v", got)
+	}
+}
+
 func TestTwoViewRecords(t *testing.T) {
 	tv, err := NewTwoView(1)
 	if err != nil {

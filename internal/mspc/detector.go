@@ -133,6 +133,15 @@ func (d *Detector) Step(row []float64) (Point, *Detection, error) {
 // Detection returns the latched first detection, or nil if none yet.
 func (d *Detector) Detection() *Detection { return d.detected }
 
+// Discard drops the latched detection and the current out-of-control run
+// without rewinding the stream position — the treatment of a pre-onset
+// false alarm in run-length accounting: note nothing and keep scanning for
+// the real event. Retained points are kept.
+func (d *Detector) Discard() {
+	d.detected = nil
+	d.runLen = 0
+}
+
 // Points returns the retained per-observation statistics (empty unless the
 // detector was created with keepPoints).
 func (d *Detector) Points() []Point {

@@ -286,6 +286,52 @@ func TestEWMADetectorValidation(t *testing.T) {
 	}
 }
 
+func TestDetectorDiscard(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	mon, mkRow := stepMonitor(t, rng)
+	det, err := NewDetector(mon, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Latch on a burst, discard it (a pre-onset false alarm), and verify a
+	// later event latches afresh with its own run start.
+	var d *Detection
+	for i := 0; i < 10 && d == nil; i++ {
+		if _, d, err = det.Step(mkRow(true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d == nil {
+		t.Fatal("no detection on burst")
+	}
+	det.Discard()
+	if det.Detection() != nil {
+		t.Error("detection survived Discard")
+	}
+	// An in-control stretch, then the real event.
+	for i := 0; i < 5; i++ {
+		if _, d, err = det.Step(mkRow(false)); err != nil {
+			t.Fatal(err)
+		} else if d != nil {
+			t.Fatalf("alarm on in-control data after Discard (step %d)", i)
+		}
+	}
+	for i := 0; i < 10 && d == nil; i++ {
+		if _, d, err = det.Step(mkRow(true)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d == nil {
+		t.Fatal("no re-detection after Discard")
+	}
+	if d.RunStart <= 3 {
+		t.Errorf("re-detection run start %d points at the discarded burst", d.RunStart)
+	}
+	if d.Index-d.RunStart != 2 {
+		t.Errorf("re-detection span %d..%d, want a fresh 3-run", d.RunStart, d.Index)
+	}
+}
+
 func TestPointOver(t *testing.T) {
 	if (Point{OverD: true}).Over() != true ||
 		(Point{OverQ: true}).Over() != true ||

@@ -174,6 +174,51 @@ type Experiment struct {
 	SeedBase int64
 	// Workers bounds parallel runs (0 = GOMAXPROCS).
 	Workers int
+	// EarlyStop switches Run to the streaming path and halts each
+	// simulation as soon as the verdict is settled or StopHorizon
+	// observations have passed since the first alarm — the online
+	// protocol's "operator reacts to the alarm" semantics. Simulation
+	// work drops accordingly; plant shutdown hours are then no longer
+	// observed for stopped runs.
+	EarlyStop bool
+	// StopHorizon is the number of retained observations to keep
+	// simulating after the first alarm in early-stop mode (0 = six
+	// diagnosis windows, comfortably past every evidence buffer).
+	StopHorizon int
+}
+
+// validate checks the experiment parameters, wrapping ErrBadConfig.
+func (e *Experiment) validate(runs int) error {
+	switch {
+	case e.Template == nil || e.System == nil:
+		return fmt.Errorf("scenario: experiment not initialized: %w", ErrBadConfig)
+	case runs < 1:
+		return fmt.Errorf("scenario: runs=%d: %w", runs, ErrBadConfig)
+	case e.Hours <= 0:
+		return fmt.Errorf("scenario: hours=%g: %w", e.Hours, ErrBadConfig)
+	case e.OnsetHour < 0:
+		return fmt.Errorf("scenario: onset hour %g: %w", e.OnsetHour, ErrBadConfig)
+	case e.Decimate < 0:
+		return fmt.Errorf("scenario: decimate %d: %w", e.Decimate, ErrBadConfig)
+	case e.Workers < 0:
+		return fmt.Errorf("scenario: workers %d: %w", e.Workers, ErrBadConfig)
+	case e.StopHorizon < 0:
+		return fmt.Errorf("scenario: stop horizon %d: %w", e.StopHorizon, ErrBadConfig)
+	}
+	return nil
+}
+
+// geometry derives the per-observation interval and the onset index from
+// the sampling and decimation settings.
+func (e *Experiment) geometry() (decimate int, sample time.Duration, onsetIdx int) {
+	decimate = e.Decimate
+	if decimate < 1 {
+		decimate = 1
+	}
+	step := e.Template.StepSeconds() * float64(decimate)
+	sample = time.Duration(step * float64(time.Second))
+	onsetIdx = int(e.OnsetHour * 3600 / step)
+	return decimate, sample, onsetIdx
 }
 
 // CalibrationResult carries the calibrated system plus the statistics the
@@ -190,6 +235,9 @@ type CalibrationResult struct {
 func Calibrate(tmpl *plant.Template, runs int, hours float64, decimate int, seedBase int64, cfg core.Config) (*CalibrationResult, error) {
 	if tmpl == nil || runs < 1 || hours <= 0 {
 		return nil, fmt.Errorf("scenario: calibration needs a template, runs ≥ 1 and hours > 0: %w", ErrBadConfig)
+	}
+	if decimate < 0 {
+		return nil, fmt.Errorf("scenario: decimate %d: %w", decimate, ErrBadConfig)
 	}
 	acc, err := mat.NewCovAccumulator(historian.NumVars)
 	if err != nil {
@@ -243,6 +291,11 @@ type RunOutcome struct {
 	Report       *core.Report
 	Shutdown     bool
 	ShutdownHour float64
+	// Samples is the number of retained observations the run scored —
+	// the work metric the early-stop mode reduces.
+	Samples int
+	// Stopped reports that the streaming path halted the simulation early.
+	Stopped bool
 	// FirstOOCCtrl/Proc are the diagnosis-window observations of each view
 	// (pooled by the caller across runs for the paper's Figures 4/5).
 	FirstOOCCtrl [][]float64
@@ -270,58 +323,163 @@ type Result struct {
 	Correct float64
 }
 
-// Run executes one scenario `runs` times in parallel and aggregates.
+// Run executes one scenario `runs` times in parallel and aggregates. With
+// EarlyStop set the runs go through the streaming path (simulation and
+// analysis fused, simulation halted once the verdict is settled); otherwise
+// each run is recorded in full and analyzed by the batch wrapper. Both
+// paths share the same incremental analysis implementation.
 func (e *Experiment) Run(sc Scenario, runs int) (*Result, error) {
-	if e.Template == nil || e.System == nil {
-		return nil, fmt.Errorf("scenario: experiment not initialized: %w", ErrBadConfig)
+	if err := e.validate(runs); err != nil {
+		return nil, err
 	}
-	if runs < 1 {
-		return nil, fmt.Errorf("scenario: runs=%d: %w", runs, ErrBadConfig)
-	}
-	decimate := e.Decimate
-	if decimate < 1 {
-		decimate = 1
-	}
-	sample := time.Duration(float64(e.Template.StepSeconds()) * float64(decimate) * float64(time.Second))
-	onsetIdx := int(e.OnsetHour * 3600 / (e.Template.StepSeconds() * float64(decimate)))
-
 	outcomes := make([]RunOutcome, runs)
 	if err := forEachRun(runs, e.Workers, func(i int) error {
-		seed := e.SeedBase + 1000 + int64(i)
-		run, err := e.Template.NewRun(plant.RunConfig{
-			Seed:     seed,
-			IDVs:     sc.IDVs,
-			Attacks:  sc.Attacks,
-			Decimate: decimate,
-		})
+		seed := e.RunSeed(int64(i))
+		var (
+			out *RunOutcome
+			err error
+		)
+		if e.EarlyStop {
+			out, err = e.streamOne(sc, seed, nil)
+		} else {
+			out, err = e.batchOne(sc, seed)
+		}
 		if err != nil {
 			return err
 		}
-		if _, err := run.RunHours(e.Hours); err != nil {
-			return err
-		}
-		ctrl := run.Views().Controller.Data()
-		proc := run.Views().Process.Data()
-		rep, err := e.System.AnalyzeViews(ctrl, proc, onsetIdx, sample)
-		if err != nil {
-			return err
-		}
-		out := RunOutcome{
-			Seed:     seed,
-			Report:   rep,
-			Shutdown: run.Shutdown(),
-		}
-		if run.Shutdown() {
-			out.ShutdownHour = run.Hours()
-		}
-		out.FirstOOCCtrl = diagnosisWindow(ctrl, rep.Controller, e.System.Config().DiagnoseWindow)
-		out.FirstOOCProc = diagnosisWindow(proc, rep.Process, e.System.Config().DiagnoseWindow)
-		outcomes[i] = out
+		outcomes[i] = *out
 		return nil
 	}); err != nil {
 		return nil, err
 	}
+	return e.aggregate(sc, runs, outcomes)
+}
 
+// RunSeed derives the plant seed of run i — the one formula shared by Run
+// and by streaming callers that want to replay a specific run.
+func (e *Experiment) RunSeed(i int64) int64 { return e.SeedBase + 1000 + i }
+
+// batchOne simulates one full run, records both views and analyzes them
+// afterwards — the paper's original record-then-read protocol.
+func (e *Experiment) batchOne(sc Scenario, seed int64) (*RunOutcome, error) {
+	decimate, sample, onsetIdx := e.geometry()
+	run, err := e.Template.NewRun(plant.RunConfig{
+		Seed:     seed,
+		IDVs:     sc.IDVs,
+		Attacks:  sc.Attacks,
+		Decimate: decimate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := run.RunHours(e.Hours); err != nil {
+		return nil, err
+	}
+	ctrl := run.Views().Controller.Data()
+	proc := run.Views().Process.Data()
+	rep, err := e.System.AnalyzeViews(ctrl, proc, onsetIdx, sample)
+	if err != nil {
+		return nil, err
+	}
+	out := &RunOutcome{
+		Seed:     seed,
+		Report:   rep,
+		Shutdown: run.Shutdown(),
+		Samples:  ctrl.Rows(),
+	}
+	if run.Shutdown() {
+		out.ShutdownHour = run.Hours()
+	}
+	out.FirstOOCCtrl = diagnosisWindow(ctrl, rep.Controller, e.System.Config().DiagnoseWindow)
+	out.FirstOOCProc = diagnosisWindow(proc, rep.Process, e.System.Config().DiagnoseWindow)
+	return out, nil
+}
+
+// StreamCallback observes every scored observation of a streaming run.
+type StreamCallback func(core.StepResult)
+
+// errStopEarly halts a streaming simulation from inside the historian tap.
+var errStopEarly = errors.New("scenario: early stop")
+
+// Stream executes one run of sc on the streaming path: the historian feeds
+// each retained observation straight into an online analyzer (no views are
+// materialized), cb — if non-nil — sees every scored sample, and with
+// EarlyStop set the simulation halts once the verdict is settled or
+// StopHorizon observations have passed since the first alarm.
+func (e *Experiment) Stream(sc Scenario, seed int64, cb StreamCallback) (*RunOutcome, error) {
+	if err := e.validate(1); err != nil {
+		return nil, err
+	}
+	return e.streamOne(sc, seed, cb)
+}
+
+func (e *Experiment) streamOne(sc Scenario, seed int64, cb StreamCallback) (*RunOutcome, error) {
+	decimate, sample, onsetIdx := e.geometry()
+	run, err := e.Template.NewRun(plant.RunConfig{
+		Seed:     seed,
+		IDVs:     sc.IDVs,
+		Attacks:  sc.Attacks,
+		Decimate: decimate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	oa, err := e.System.NewOnlineAnalyzer(onsetIdx, sample)
+	if err != nil {
+		return nil, err
+	}
+	horizon := e.StopHorizon
+	if horizon <= 0 {
+		horizon = 6 * e.System.Config().DiagnoseWindow
+	}
+	stopped := false
+	views := run.Views()
+	views.SetRetain(false)
+	views.SetTap(func(idx int, c, p []float64) error {
+		res, err := oa.Push(c, p)
+		if err != nil {
+			return err
+		}
+		if cb != nil {
+			cb(res)
+		}
+		if e.EarlyStop {
+			if fa := oa.FirstAlarmIndex(); fa >= 0 && (oa.Settled() || idx >= fa+horizon) {
+				stopped = true
+				return errStopEarly
+			}
+		}
+		return nil
+	})
+	for run.Hours() < e.Hours {
+		if err := run.Step(); err != nil {
+			if errors.Is(err, te.ErrShutdown) || errors.Is(err, errStopEarly) {
+				break
+			}
+			return nil, err
+		}
+	}
+	rep, err := oa.Finish()
+	if err != nil {
+		return nil, err
+	}
+	out := &RunOutcome{
+		Seed:     seed,
+		Report:   rep,
+		Shutdown: run.Shutdown(),
+		Samples:  oa.N(),
+		Stopped:  stopped,
+	}
+	if run.Shutdown() {
+		out.ShutdownHour = run.Hours()
+	}
+	out.FirstOOCCtrl, out.FirstOOCProc = oa.DiagnosisWindows()
+	return out, nil
+}
+
+// aggregate folds per-run outcomes into the scenario-level Result,
+// including the pooled oMEDA profiles the paper plots.
+func (e *Experiment) aggregate(sc Scenario, runs int, outcomes []RunOutcome) (*Result, error) {
 	res := &Result{
 		Scenario: sc,
 		Runs:     outcomes,

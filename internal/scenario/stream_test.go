@@ -1,0 +1,141 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"pcsmon/internal/core"
+)
+
+// TestStreamingMatchesBatchOnPaperScenarios is the acceptance parity test:
+// for each of the paper's four scenarios, the fused simulate-and-score
+// streaming path (full run, no early stop) must produce the identical
+// Report — verdicts, detection indices, run starts, oMEDA profiles — and
+// the identical pooled diagnosis windows as the record-then-analyze batch
+// path over the same seeded run.
+func TestStreamingMatchesBatchOnPaperScenarios(t *testing.T) {
+	exp, res := fixture(t)
+	for _, sc := range PaperScenarios(testOnsetHour) {
+		t.Run(sc.Key, func(t *testing.T) {
+			batch := res[sc.Key].Runs[0]
+			out, err := exp.Stream(sc, batch.Seed, nil)
+			if err != nil {
+				t.Fatalf("Stream: %v", err)
+			}
+			if !reflect.DeepEqual(batch.Report, out.Report) {
+				t.Errorf("streaming report differs from batch:\nbatch:  %+v\nstream: %+v",
+					batch.Report, out.Report)
+			}
+			if !reflect.DeepEqual(batch.FirstOOCCtrl, out.FirstOOCCtrl) ||
+				!reflect.DeepEqual(batch.FirstOOCProc, out.FirstOOCProc) {
+				t.Error("streaming diagnosis windows differ from batch")
+			}
+			if out.Samples != batch.Samples {
+				t.Errorf("full streaming run scored %d samples, batch %d", out.Samples, batch.Samples)
+			}
+			if out.Stopped {
+				t.Error("full run reported an early stop")
+			}
+			if out.Shutdown != batch.Shutdown {
+				t.Errorf("shutdown %v, batch %v", out.Shutdown, batch.Shutdown)
+			}
+		})
+	}
+}
+
+// TestEarlyStopSemantics: with EarlyStop set the simulation halts shortly
+// after the alarm, does measurably less work, and still reaches the batch
+// path's verdict and detection index for the paper's attack scenarios.
+func TestEarlyStopSemantics(t *testing.T) {
+	exp, res := fixture(t)
+	es := *exp
+	es.EarlyStop = true
+	for _, sc := range PaperScenarios(testOnsetHour) {
+		t.Run(sc.Key, func(t *testing.T) {
+			batch := res[sc.Key].Runs[0]
+			out, err := es.Stream(sc, batch.Seed, nil)
+			if err != nil {
+				t.Fatalf("Stream: %v", err)
+			}
+			if !out.Stopped {
+				t.Fatalf("run was not stopped early (scored %d of %d samples)", out.Samples, batch.Samples)
+			}
+			if out.Samples >= batch.Samples {
+				t.Errorf("early stop scored %d samples, batch needed %d", out.Samples, batch.Samples)
+			}
+			if got, want := out.Report.Verdict, batch.Report.Verdict; got != want {
+				t.Errorf("verdict %v, batch %v (%s)", got, want, out.Report.Explanation)
+			}
+			cd, cb := out.Report.Controller, batch.Report.Controller
+			if cd.Detected != cb.Detected || cd.DetectionIndex != cb.DetectionIndex {
+				t.Errorf("controller detection %v@%d, batch %v@%d",
+					cd.Detected, cd.DetectionIndex, cb.Detected, cb.DetectionIndex)
+			}
+		})
+	}
+}
+
+// TestEarlyStopCallbackSeesAlarm checks the streaming callback contract on
+// a real run: per-sample results arrive in order and the alarm is
+// delivered exactly once.
+func TestEarlyStopCallbackSeesAlarm(t *testing.T) {
+	exp, res := fixture(t)
+	es := *exp
+	es.EarlyStop = true
+	sc := PaperScenarios(testOnsetHour)[1] // integrity on XMV(3)
+	batch := res[sc.Key].Runs[0]
+	var steps, alarms int
+	last := -1
+	out, err := es.Stream(sc, batch.Seed, func(r core.StepResult) {
+		if r.Index != last+1 {
+			t.Fatalf("step index %d after %d", r.Index, last)
+		}
+		last = r.Index
+		steps++
+		if r.CtrlAlarm != nil {
+			alarms++
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != out.Samples {
+		t.Errorf("callback saw %d steps, outcome says %d samples", steps, out.Samples)
+	}
+	if alarms != 1 {
+		t.Errorf("controller alarm delivered %d times, want once", alarms)
+	}
+}
+
+// TestExperimentValidation exercises the config validation satellites.
+func TestExperimentValidation(t *testing.T) {
+	exp, _ := fixture(t)
+	sc := PaperScenarios(testOnsetHour)[0]
+	cases := []struct {
+		name   string
+		mutate func(*Experiment)
+		runs   int
+	}{
+		{"no template", func(e *Experiment) { e.Template = nil }, 1},
+		{"no system", func(e *Experiment) { e.System = nil }, 1},
+		{"zero runs", func(e *Experiment) {}, 0},
+		{"zero hours", func(e *Experiment) { e.Hours = 0 }, 1},
+		{"negative onset", func(e *Experiment) { e.OnsetHour = -1 }, 1},
+		{"negative decimate", func(e *Experiment) { e.Decimate = -2 }, 1},
+		{"negative workers", func(e *Experiment) { e.Workers = -1 }, 1},
+		{"negative horizon", func(e *Experiment) { e.StopHorizon = -5 }, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := *exp
+			tc.mutate(&e)
+			if _, err := e.Run(sc, tc.runs); !errors.Is(err, ErrBadConfig) {
+				t.Errorf("want ErrBadConfig, got %v", err)
+			}
+		})
+	}
+	if _, err := Calibrate(exp.Template, 1, 1, -1, 0, core.Config{}); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative calibration decimate: want ErrBadConfig, got %v", err)
+	}
+}

@@ -25,6 +25,7 @@
 package pcsmon
 
 import (
+	"errors"
 	"fmt"
 
 	"pcsmon/internal/attack"
@@ -32,6 +33,12 @@ import (
 	"pcsmon/internal/historian"
 	"pcsmon/internal/plant"
 	"pcsmon/internal/scenario"
+)
+
+// Package-level sentinel errors.
+var (
+	// ErrBadConfig is returned (wrapped) for invalid LabConfig values.
+	ErrBadConfig = errors.New("pcsmon: invalid configuration")
 )
 
 // Re-exported types: the stable public surface over the internal packages.
@@ -44,11 +51,17 @@ type (
 	ViewAnalysis = core.ViewAnalysis
 	// MonitorConfig tunes the MSPC pipeline.
 	MonitorConfig = core.Config
+	// System is a calibrated two-view monitoring system.
+	System = core.System
+	// OnlineAnalyzer scores a run's two views incrementally.
+	OnlineAnalyzer = core.OnlineAnalyzer
 	// Scenario describes one anomalous situation (disturbance and/or
 	// attacks).
 	Scenario = scenario.Scenario
 	// ScenarioResult aggregates a scenario over several runs.
 	ScenarioResult = scenario.Result
+	// RunOutcome is the result of one scenario run.
+	RunOutcome = scenario.RunOutcome
 	// AttackSpec describes one attack on one channel.
 	AttackSpec = attack.Spec
 	// IDVEvent schedules a process disturbance.
@@ -125,9 +138,30 @@ type Lab struct {
 	cfg      LabConfig
 }
 
+// validate rejects meaningless parameter values with wrapped ErrBadConfig
+// errors (zero values select defaults and are always valid).
+func (cfg LabConfig) validate() error {
+	switch {
+	case cfg.StepSeconds < 0:
+		return fmt.Errorf("pcsmon: step seconds %g: %w", cfg.StepSeconds, ErrBadConfig)
+	case cfg.WarmupHours < 0:
+		return fmt.Errorf("pcsmon: warmup hours %g: %w", cfg.WarmupHours, ErrBadConfig)
+	case cfg.CalibrationRuns < 0:
+		return fmt.Errorf("pcsmon: calibration runs %d: %w", cfg.CalibrationRuns, ErrBadConfig)
+	case cfg.CalibrationHours < 0:
+		return fmt.Errorf("pcsmon: calibration hours %g: %w", cfg.CalibrationHours, ErrBadConfig)
+	case cfg.Decimate < 0:
+		return fmt.Errorf("pcsmon: decimate %d: %w", cfg.Decimate, ErrBadConfig)
+	}
+	return nil
+}
+
 // NewLab builds the plant, warms it up, runs the NOC calibration campaign
 // and calibrates the monitoring system.
 func NewLab(cfg LabConfig) (*Lab, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	if cfg.StepSeconds == 0 {
 		cfg.StepSeconds = 4.5
 	}
@@ -158,24 +192,14 @@ func NewLab(cfg LabConfig) (*Lab, error) {
 	return &Lab{Template: tmpl, System: cal.System, cfg: cfg}, nil
 }
 
-// RunScenario executes a scenario runs times (the paper uses 10) with runs
-// lasting hours (0 = 20; paper: 72) and anomalies starting at onsetHour
-// per the scenario definition.
-func (l *Lab) RunScenario(sc Scenario, runs int) (*ScenarioResult, error) {
-	exp := &scenario.Experiment{
-		Template:  l.Template,
-		System:    l.System,
-		Hours:     l.runHours(sc),
-		OnsetHour: onsetOf(sc),
-		Decimate:  l.cfg.Decimate,
-		SeedBase:  l.cfg.Seed + 7777,
+// newExperiment is the one place a Lab turns a scenario into a runnable
+// experiment: every scenario entry point (batch and streaming) shares its
+// onset/seed/decimation wiring.
+func (l *Lab) newExperiment(sc Scenario, hours float64) *scenario.Experiment {
+	if hours <= 0 {
+		hours = onsetOf(sc) + 16
 	}
-	return exp.Run(sc, runs)
-}
-
-// RunScenarioFor is RunScenario with an explicit run duration in hours.
-func (l *Lab) RunScenarioFor(sc Scenario, runs int, hours float64) (*ScenarioResult, error) {
-	exp := &scenario.Experiment{
+	return &scenario.Experiment{
 		Template:  l.Template,
 		System:    l.System,
 		Hours:     hours,
@@ -183,11 +207,18 @@ func (l *Lab) RunScenarioFor(sc Scenario, runs int, hours float64) (*ScenarioRes
 		Decimate:  l.cfg.Decimate,
 		SeedBase:  l.cfg.Seed + 7777,
 	}
-	return exp.Run(sc, runs)
 }
 
-func (l *Lab) runHours(sc Scenario) float64 {
-	return onsetOf(sc) + 16
+// RunScenario executes a scenario runs times (the paper uses 10) with runs
+// lasting until 16 h past onset and anomalies starting per the scenario
+// definition.
+func (l *Lab) RunScenario(sc Scenario, runs int) (*ScenarioResult, error) {
+	return l.newExperiment(sc, 0).Run(sc, runs)
+}
+
+// RunScenarioFor is RunScenario with an explicit run duration in hours.
+func (l *Lab) RunScenarioFor(sc Scenario, runs int, hours float64) (*ScenarioResult, error) {
+	return l.newExperiment(sc, hours).Run(sc, runs)
 }
 
 // onsetOf extracts the earliest anomaly start from a scenario (0 when the

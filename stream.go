@@ -1,0 +1,178 @@
+package pcsmon
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"pcsmon/internal/core"
+	"pcsmon/internal/mspc"
+)
+
+// StreamEvent is a typed event emitted by the streaming monitoring
+// facade. The concrete types are SampleScored, AlarmRaised and
+// VerdictReady.
+type StreamEvent interface{ streamEvent() }
+
+// SampleScored reports the two charts' statistics for one scored
+// observation — what an operator's live D/Q control charts would plot.
+type SampleScored struct {
+	// Index is the observation index in the monitored stream.
+	Index int
+	// CtrlD/CtrlQ and ProcD/ProcQ are the D (Hotelling T²) and Q (SPE)
+	// statistics of the controller and process views.
+	CtrlD, CtrlQ float64
+	ProcD, ProcQ float64
+	// CtrlOver/ProcOver report whether the view exceeded a 99 % action
+	// limit in either chart at this observation.
+	CtrlOver, ProcOver bool
+}
+
+// AlarmRaised reports that one view's run rule latched a detection: the
+// K-th consecutive out-of-control observation after onset.
+type AlarmRaised struct {
+	// View is "controller" or "process".
+	View string
+	// Index is the observation at which the run rule fired; RunStart is
+	// the first observation of the out-of-control run.
+	Index    int
+	RunStart int
+	// Charts lists which statistic(s) were out of control ("D", "Q").
+	Charts []string
+}
+
+// VerdictReady carries the final classified report when the stream ends.
+type VerdictReady struct {
+	Report *Report
+	// Samples is the number of observations scored.
+	Samples int
+	// Stopped reports that the run was halted early (streaming early-stop
+	// mode).
+	Stopped bool
+}
+
+func (SampleScored) streamEvent() {}
+func (AlarmRaised) streamEvent()  {}
+func (VerdictReady) streamEvent() {}
+
+// StreamOptions tunes Lab.StreamScenario.
+type StreamOptions struct {
+	// Seed selects the run (StreamScenario with Seed i replays run i of
+	// RunScenario).
+	Seed int64
+	// Hours is the maximum simulated duration (0 = 16 h past onset).
+	Hours float64
+	// EarlyStop halts the simulation once the verdict is settled or
+	// StopHorizon observations have passed since the first alarm.
+	EarlyStop bool
+	// StopHorizon is the early-stop horizon in observations after the
+	// first alarm (0 = six diagnosis windows).
+	StopHorizon int
+	// EmitEvery thins SampleScored events to one in N observations
+	// (0 or 1 = every observation, negative = none). Alarm and verdict
+	// events are always emitted.
+	EmitEvery int
+}
+
+// StreamScenario simulates one run of a scenario and monitors it online:
+// every retained observation is scored as the plant produces it and emit —
+// if non-nil — receives the typed event stream (SampleScored, AlarmRaised,
+// VerdictReady). With EarlyStop the simulation halts shortly after
+// detection instead of running to the configured horizon. The final report
+// is identical to what the batch path computes over the same observations.
+func (l *Lab) StreamScenario(sc Scenario, opts StreamOptions, emit func(StreamEvent)) (*Report, error) {
+	exp := l.newExperiment(sc, opts.Hours)
+	exp.EarlyStop = opts.EarlyStop
+	exp.StopHorizon = opts.StopHorizon
+	out, err := exp.Stream(sc, exp.RunSeed(opts.Seed), stepEmitter(emit, opts.EmitEvery))
+	if err != nil {
+		return nil, fmt.Errorf("pcsmon: %w", err)
+	}
+	if emit != nil {
+		emit(VerdictReady{Report: out.Report, Samples: out.Samples, Stopped: out.Stopped})
+	}
+	return out.Report, nil
+}
+
+// StreamFeed supplies successive paired observations (engineering units,
+// NumVars columns each). Returning io.EOF — or two nil rows — ends the
+// stream. A single-view feed may return the same slice for both views.
+type StreamFeed func() (ctrl, proc []float64, err error)
+
+// Stream scores an arbitrary feed of paired observations against a
+// calibrated system — the facade over core.OnlineAnalyzer that mspctool's
+// watch mode and other external consumers use. onset is the observation
+// index at which an anomaly is known to begin (0 if unknown) and sample is
+// the observation interval. The final report is returned after the feed
+// ends; emit — if non-nil — sees the live event stream.
+func Stream(sys *System, onset int, sample time.Duration, feed StreamFeed, emit func(StreamEvent)) (*Report, error) {
+	if feed == nil {
+		return nil, fmt.Errorf("pcsmon: nil feed: %w", ErrBadConfig)
+	}
+	oa, err := sys.NewOnlineAnalyzer(onset, sample)
+	if err != nil {
+		return nil, fmt.Errorf("pcsmon: %w", err)
+	}
+	cb := stepEmitter(emit, 0)
+	for {
+		ctrl, proc, err := feed()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pcsmon: feed: %w", err)
+		}
+		if ctrl == nil && proc == nil {
+			break
+		}
+		res, err := oa.Push(ctrl, proc)
+		if err != nil {
+			return nil, fmt.Errorf("pcsmon: %w", err)
+		}
+		cb(res)
+	}
+	rep, err := oa.Finish()
+	if err != nil {
+		return nil, fmt.Errorf("pcsmon: %w", err)
+	}
+	if emit != nil {
+		emit(VerdictReady{Report: rep, Samples: oa.N()})
+	}
+	return rep, nil
+}
+
+// stepEmitter converts per-observation scoring results into facade events.
+func stepEmitter(emit func(StreamEvent), every int) func(core.StepResult) {
+	if emit == nil {
+		return func(core.StepResult) {}
+	}
+	return func(res core.StepResult) {
+		if every >= 0 && (every <= 1 || res.Index%every == 0) {
+			ev := SampleScored{Index: res.Index}
+			if res.Ctrl != nil {
+				ev.CtrlD, ev.CtrlQ = res.Ctrl.Stats.D, res.Ctrl.Stats.Q
+				ev.CtrlOver = res.Ctrl.Over()
+			}
+			if res.Proc != nil {
+				ev.ProcD, ev.ProcQ = res.Proc.Stats.D, res.Proc.Stats.Q
+				ev.ProcOver = res.Proc.Over()
+			}
+			emit(ev)
+		}
+		if res.CtrlAlarm != nil {
+			emit(alarmEvent("controller", res.CtrlAlarm.Index, res.CtrlAlarm.RunStart, res.CtrlAlarm.Charts))
+		}
+		if res.ProcAlarm != nil {
+			emit(alarmEvent("process", res.ProcAlarm.Index, res.ProcAlarm.RunStart, res.ProcAlarm.Charts))
+		}
+	}
+}
+
+func alarmEvent(view string, index, runStart int, charts []mspc.Chart) AlarmRaised {
+	out := AlarmRaised{View: view, Index: index, RunStart: runStart}
+	for _, c := range charts {
+		out.Charts = append(out.Charts, c.String())
+	}
+	return out
+}
