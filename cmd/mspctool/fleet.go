@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+)
+
+// runFleet implements the fleet subcommand: one calibrated model scoring
+// many interleaved plant streams through the sharded fleet pool.
+//
+// Two ingestion modes share the demux-into-pool path:
+//
+//   - CSV (default): stdin carries interleaved rows "plant,<53 vars>" —
+//     the first column keys the stream, the rest is a single-view
+//     observation (used for both views, like watch without -proc).
+//   - TCP (-listen): a fieldbus.Server accepts length-prefixed frames on
+//     the given address; each sensor frame carrying exactly 53 values is
+//     one observation of plant "unit-<Unit>". The listener stops after
+//     -max-obs observations or -idle without traffic.
+//
+// Plants attach lazily on first sight; at end of input every stream is
+// detached and its classified report summarized, followed by the pool's
+// aggregate counters.
+func runFleet(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("mspctool fleet", flag.ContinueOnError)
+	var (
+		calPath    = fs.String("cal", "", "NOC calibration CSV (required)")
+		sampleSec  = fs.Float64("sample", 4.5, "observation interval of the monitored streams [s]")
+		onsetHour  = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known (applies to every plant)")
+		components = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
+		workers    = fs.Int("workers", 0, "scoring workers (0 = GOMAXPROCS)")
+		every      = fs.Int("every", -1, "print chart statistics every N observations per plant (-1 = alarms only)")
+		listen     = fs.String("listen", "", "accept fieldbus frames on this TCP address instead of reading CSV from stdin")
+		maxObs     = fs.Int64("max-obs", 0, "TCP mode: stop after this many observations (0 = rely on -idle)")
+		idle       = fs.Duration("idle", 5*time.Second, "TCP mode: stop after this long without traffic")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *calPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-cal is required")
+	}
+	if *sampleSec <= 0 {
+		return fmt.Errorf("-sample must be positive")
+	}
+	sys, err := calibrateFrom(*calPath, *components, out)
+	if err != nil {
+		return err
+	}
+	onset := onsetIndex(*onsetHour, *sampleSec)
+	fl, err := pcsmon.NewFleet(sys, pcsmon.FleetOptions{
+		Workers:   *workers,
+		EmitEvery: *every,
+		Sample:    time.Duration(*sampleSec * float64(time.Second)),
+	})
+	if err != nil {
+		return err
+	}
+
+	// Event printer: the single consumer of the fan-in channel.
+	reports := map[string]*pcsmon.Report{}
+	samples := map[string]int{}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range fl.Events() {
+			switch e := ev.Event.(type) {
+			case pcsmon.SampleScored:
+				if *every > 0 {
+					fmt.Fprintf(out, "[%s] obs %6d  ctrl D=%8.2f Q=%8.2f\n",
+						ev.Plant, e.Index, e.CtrlD, e.CtrlQ)
+				}
+			case pcsmon.AlarmRaised:
+				fmt.Fprintf(out, "ALARM [%s/%s] at obs %d (run start %d, charts %v)\n",
+					ev.Plant, e.View, e.Index, e.RunStart, e.Charts)
+			case pcsmon.VerdictReady:
+				reports[ev.Plant] = e.Report
+				samples[ev.Plant] = e.Samples
+			}
+		}
+	}()
+
+	// feed pushes one single-view observation, attaching the plant on
+	// first sight.
+	seen := map[string]bool{}
+	feed := func(plant string, row []float64) error {
+		if !seen[plant] {
+			if err := fl.Attach(plant, onset); err != nil {
+				return err
+			}
+			seen[plant] = true
+			fmt.Fprintf(out, "plant %s attached\n", plant)
+		}
+		return fl.Push(plant, row, row)
+	}
+
+	if *listen != "" {
+		err = serveFleetTCP(*listen, *maxObs, *idle, out, feed)
+	} else {
+		err = demuxFleetCSV(in, feed)
+	}
+	if err != nil {
+		_ = fl.Close()
+		<-drained
+		return err
+	}
+
+	// Detach everything (events deliver the verdicts), then report.
+	ids := make([]string, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := fl.Detach(id); err != nil {
+			_ = fl.Close()
+			<-drained
+			return err
+		}
+	}
+	stats := fl.Stats()
+	if err := fl.Close(); err != nil {
+		return err
+	}
+	<-drained
+
+	fmt.Fprintln(out)
+	for _, id := range ids {
+		rep := reports[id]
+		if rep == nil {
+			fmt.Fprintf(out, "plant %s: no verdict\n", id)
+			continue
+		}
+		fmt.Fprintf(out, "plant %s: %s after %d observations", id, rep.Verdict, samples[id])
+		if rep.AttackedVar >= 0 {
+			fmt.Fprintf(out, " (channel %s)", historian.VarName(rep.AttackedVar))
+		}
+		fmt.Fprintf(out, "\n  %s\n", rep.Explanation)
+	}
+	fmt.Fprintf(out, "\nfleet: %d plants, %d observations, %d alarms, %.0f obs/sec\n",
+		stats.Attached, stats.Observations, stats.Alarms, stats.ObsPerSec)
+	return nil
+}
+
+// demuxFleetCSV reads interleaved "plant,<53 vars>" rows and routes each
+// to its plant's stream.
+func demuxFleetCSV(in io.Reader, feed func(plant string, row []float64) error) error {
+	cr := csv.NewReader(in)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("read header: %w", err)
+	}
+	if len(header) != historian.NumVars+1 {
+		return fmt.Errorf("fleet stream has %d columns, want %d (plant + %d vars)",
+			len(header), historian.NumVars+1, historian.NumVars)
+	}
+	row := make([]float64, historian.NumVars)
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		line++
+		plant := rec[0]
+		if plant == "" {
+			return fmt.Errorf("line %d: empty plant id", line)
+		}
+		for j, f := range rec[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return fmt.Errorf("line %d field %d %q: not a number", line, j+2, f)
+			}
+			row[j] = v
+		}
+		if err := feed(plant, row); err != nil {
+			return err
+		}
+	}
+}
+
+// serveFleetTCP accepts fieldbus frames and routes each full-width sensor
+// frame to plant "unit-<Unit>". It returns once maxObs observations have
+// arrived (when set) or no traffic has been seen for the idle duration —
+// counted from startup, so a listener nobody connects to also terminates.
+func serveFleetTCP(addr string, maxObs int64, idle time.Duration, out io.Writer, feed func(plant string, row []float64) error) error {
+	var (
+		mu       sync.Mutex // serializes feed across connection goroutines
+		feedErr  error
+		obsCount atomic.Int64
+		lastSeen atomic.Int64 // UnixNano of the last frame (or startup)
+	)
+	lastSeen.Store(time.Now().UnixNano())
+	done := make(chan struct{})
+	var closeOnce sync.Once
+	finish := func() { closeOnce.Do(func() { close(done) }) }
+	srv, err := fieldbus.NewServer(addr, func(f *fieldbus.Frame) {
+		if f.Type != fieldbus.FrameSensor || len(f.Values) != historian.NumVars {
+			return // not a historian observation frame
+		}
+		lastSeen.Store(time.Now().UnixNano())
+		plant := fmt.Sprintf("unit-%03d", f.Unit)
+		mu.Lock()
+		if feedErr == nil {
+			feedErr = feed(plant, f.Values)
+		}
+		failed := feedErr != nil
+		mu.Unlock()
+		n := obsCount.Add(1)
+		if failed || (maxObs > 0 && n >= maxObs) {
+			finish()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Fprintf(out, "listening on %s\n", srv.Addr())
+
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			mu.Lock()
+			defer mu.Unlock()
+			return feedErr
+		case <-ticker.C:
+			if time.Since(time.Unix(0, lastSeen.Load())) > idle {
+				mu.Lock()
+				defer mu.Unlock()
+				return feedErr
+			}
+		}
+	}
+}

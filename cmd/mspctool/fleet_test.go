@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+)
+
+// interleavedCSV builds a multi-plant fleet stream: rows "plant,<53 vars>"
+// round-robin across the plants, with the named plants' channel shifted
+// after shiftFrom so they alarm while the rest stay in control.
+func interleavedCSV(t *testing.T, seed int64, plants []string, rows, shiftCh, shiftFrom int, delta float64, attacked map[string]bool) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	var sb strings.Builder
+	sb.WriteString("plant," + strings.Join(historian.VarNames(), ","))
+	sb.WriteString("\n")
+	for i := 0; i < rows; i++ {
+		for _, p := range plants {
+			z := rng.NormFloat64()
+			sb.WriteString(p)
+			for j := 0; j < m; j++ {
+				v := 50 + z*w[j] + 0.3*rng.NormFloat64()
+				if attacked[p] && i >= shiftFrom && j == shiftCh {
+					v += delta
+				}
+				fmt.Fprintf(&sb, ",%g", v)
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+func TestFleetSubcommandCSV(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+
+	plants := []string{"alpha", "beta", "gamma"}
+	stream := interleavedCSV(t, 3, plants, 260, 0, 130, -30,
+		map[string]bool{"beta": true})
+	var out bytes.Buffer
+	err := runFleet([]string{
+		"-cal", cal,
+		"-sample", "9",
+		"-onset-hour", "0.325", // row 130 at 9 s samples
+	}, strings.NewReader(stream), &out)
+	if err != nil {
+		t.Fatalf("fleet: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"plant alpha attached",
+		"plant beta attached",
+		"plant gamma attached",
+		"ALARM [beta/",
+		"fleet: 3 plants, 780 observations",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet output missing %q:\n%s", want, text)
+		}
+	}
+	// The shifted plant alarms; single-view streams cannot diverge, so the
+	// quiet plants must be classified normal.
+	for _, quiet := range []string{"alpha", "gamma"} {
+		if !strings.Contains(text, "plant "+quiet+": normal") {
+			t.Errorf("plant %s not classified normal:\n%s", quiet, text)
+		}
+	}
+	if strings.Contains(text, "plant beta: normal") {
+		t.Errorf("attacked plant beta classified normal:\n%s", text)
+	}
+	if strings.Contains(text, "ALARM [alpha/") || strings.Contains(text, "ALARM [gamma/") {
+		t.Errorf("false alarm on a quiet plant:\n%s", text)
+	}
+}
+
+func TestFleetSubcommandRejectsBadInput(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	var out bytes.Buffer
+	if err := runFleet(nil, strings.NewReader(""), &out); err == nil {
+		t.Error("missing -cal accepted")
+	}
+	if err := runFleet([]string{"-cal", cal}, strings.NewReader("a,b\n"), &out); err == nil {
+		t.Error("narrow header accepted")
+	}
+	if err := runFleet([]string{"-cal", cal},
+		strings.NewReader("plant,"+strings.Join(historian.VarNames(), ",")+"\n,1\n"), &out); err == nil {
+		t.Error("empty plant id accepted")
+	}
+}
+
+// syncBuffer lets the test read the command's output while the TCP server
+// goroutine is still writing it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestFleetSubcommandTCPIdleWithoutTraffic: the idle timer counts from
+// startup, so a listener nobody ever connects to still terminates.
+func TestFleetSubcommandTCPIdleWithoutTraffic(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- runFleet([]string{
+			"-cal", cal,
+			"-listen", "127.0.0.1:0",
+			"-idle", "250ms",
+		}, strings.NewReader(""), &out)
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("fleet tcp idle: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("idle listener never terminated:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "fleet: 0 plants, 0 observations") {
+		t.Errorf("unexpected summary:\n%s", out.String())
+	}
+}
+
+func TestFleetSubcommandTCP(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+
+	const (
+		units = 3
+		rows  = 120
+	)
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runFleet([]string{
+			"-cal", cal,
+			"-sample", "9",
+			"-listen", "127.0.0.1:0",
+			"-max-obs", fmt.Sprint(units * rows),
+			"-idle", "30s", // the observation cap, not idleness, ends the run
+		}, strings.NewReader(""), &out)
+	}()
+
+	// Wait for the listener address to appear in the output.
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener address never printed:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cli, err := fieldbus.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	var seq uint64
+	for i := 0; i < rows; i++ {
+		for u := 0; u < units; u++ {
+			z := rng.NormFloat64()
+			vals := make([]float64, m)
+			for j := 0; j < m; j++ {
+				vals[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+			}
+			if u == 1 && i >= 60 {
+				vals[0] -= 30 // unit 1 drifts out of control mid-stream
+			}
+			seq++
+			if err := cli.Send(&fieldbus.Frame{
+				Type: fieldbus.FrameSensor, Unit: uint8(u), Seq: seq, Values: vals,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// An undersized frame must be ignored, not crash the demux.
+	seq++
+	if err := cli.Send(&fieldbus.Frame{
+		Type: fieldbus.FrameSensor, Unit: 9, Seq: seq, Values: []float64{1, 2, 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet tcp: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("fleet tcp never finished:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"plant unit-000 attached",
+		"plant unit-001 attached",
+		"plant unit-002 attached",
+		"ALARM [unit-001/",
+		fmt.Sprintf("fleet: 3 plants, %d observations", units*rows),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet tcp output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "unit-009") {
+		t.Errorf("undersized frame attached a plant:\n%s", text)
+	}
+}

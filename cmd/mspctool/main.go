@@ -16,6 +16,15 @@
 //
 //	tesim -hours 24 -attack dos:xmv:3:10 -out live
 //	mspctool watch -cal noc-process.csv -proc live-process.csv -sample 4.5 <live-controller.csv
+//
+// The fleet subcommand scales watch to many plants at once: interleaved
+// "plant,<53 vars>" CSV rows on stdin (or length-prefixed fieldbus frames
+// on a TCP listener, keyed by the frame's unit id) are demuxed into a
+// sharded scoring pool — one calibrated model, thousands of independent
+// streams, per-plant verdicts plus aggregate throughput counters:
+//
+//	mspctool fleet -cal noc-process.csv <interleaved.csv
+//	mspctool fleet -cal noc-process.csv -listen 127.0.0.1:7700 -max-obs 100000
 package main
 
 import (
@@ -45,6 +54,9 @@ func main() {
 func run(args []string) error {
 	if len(args) > 0 && args[0] == "watch" {
 		return runWatch(args[1:], os.Stdin, os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "fleet" {
+		return runFleet(args[1:], os.Stdin, os.Stdout)
 	}
 	fs := flag.NewFlagSet("mspctool", flag.ContinueOnError)
 	var (
@@ -82,7 +94,7 @@ func run(args []string) error {
 	}
 
 	sample := time.Duration(*sampleSec * float64(time.Second))
-	onset := int(*onsetHour * 3600 / *sampleSec)
+	onset := onsetIndex(*onsetHour, *sampleSec)
 	rep, err := sys.AnalyzeViews(ctrl, proc, onset, sample)
 	if err != nil {
 		return err
@@ -175,7 +187,7 @@ func runWatch(args []string, in io.Reader, out io.Writer) error {
 			fmt.Fprintf(out, "\nend of stream after %d observations\n\n", e.Samples)
 		}
 	}
-	onset := int(*onsetHour * 3600 / *sampleSec)
+	onset := onsetIndex(*onsetHour, *sampleSec)
 	sample := time.Duration(*sampleSec * float64(time.Second))
 	rep, err := pcsmon.Stream(sys, onset, sample, feed, emit)
 	if err != nil {
@@ -185,9 +197,16 @@ func runWatch(args []string, in io.Reader, out io.Writer) error {
 	return nil
 }
 
+// onsetIndex converts an anomaly onset in hours to a retained-observation
+// index at the given sampling interval — the one geometry formula shared
+// by the batch, watch and fleet subcommands.
+func onsetIndex(onsetHour, sampleSec float64) int {
+	return int(onsetHour * 3600 / sampleSec)
+}
+
 // calibrateFrom builds the monitoring system from a NOC CSV — the one
-// calibration path shared by the batch and watch subcommands — and prints
-// the calibration summary.
+// calibration path shared by the batch, watch and fleet subcommands — and
+// prints the calibration summary.
 func calibrateFrom(calPath string, components int, out io.Writer) (*core.System, error) {
 	cal, err := readCSV(calPath)
 	if err != nil {

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"pcsmon"
@@ -18,14 +19,16 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 2, 14); err != nil {
 		fmt.Fprintln(os.Stderr, "disturbance-vs-attack:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fmt.Println("building lab…")
+// run executes the central experiment over runs repetitions of hours each
+// (the end-to-end test uses a single shorter run).
+func run(w io.Writer, runs int, hours float64) error {
+	fmt.Fprintln(w, "building lab…")
 	lab, err := pcsmon.NewLab(pcsmon.LabConfig{
 		CalibrationRuns:  3,
 		CalibrationHours: 16,
@@ -38,20 +41,20 @@ func run() error {
 	const onset = 4.0
 	scenarios := pcsmon.PaperScenarios(onset)[:2] // (a) IDV(6), (b) XMV(3) attack
 	for _, sc := range scenarios {
-		fmt.Printf("\n=== %s ===\n", sc.Name)
-		res, err := lab.RunScenarioFor(sc, 2, 14)
+		fmt.Fprintf(w, "\n=== %s ===\n", sc.Name)
+		res, err := lab.RunScenarioFor(sc, runs, hours)
 		if err != nil {
 			return err
 		}
 		rep := res.Runs[0].Report
 
-		fmt.Printf("verdict: %s", rep.Verdict)
+		fmt.Fprintf(w, "verdict: %s", rep.Verdict)
 		if rep.AttackedVar >= 0 {
-			fmt.Printf(" — forged channel %s", pcsmon.VarName(rep.AttackedVar))
+			fmt.Fprintf(w, " — forged channel %s", pcsmon.VarName(rep.AttackedVar))
 		}
-		fmt.Printf("\n%s\n", rep.Explanation)
+		fmt.Fprintf(w, "\n%s\n", rep.Explanation)
 		if res.Runs[0].Shutdown {
-			fmt.Printf("plant shut down %.2f h after onset\n", res.Runs[0].ShutdownHour-onset)
+			fmt.Fprintf(w, "plant shut down %.2f h after onset\n", res.Runs[0].ShutdownHour-onset)
 		}
 
 		// Show what each view blames: with bars pooled over the runs, the
@@ -69,11 +72,11 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Println(bars)
+			fmt.Fprintln(w, bars)
 		}
 	}
-	fmt.Println("note how both controller views blame XMEAS(1) (negative), while only the")
-	fmt.Println("process view of the attack shows XMV(3) forced below normal.")
+	fmt.Fprintln(w, "note how both controller views blame XMEAS(1) (negative), while only the")
+	fmt.Fprintln(w, "process view of the attack shows XMV(3) forced below normal.")
 	return nil
 }
 

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDisturbanceVsAttackEndToEnd runs the example in-process with a
+// single short run per scenario: the disturbance must be classified as
+// such and the integrity attack must be localized to XMV(3).
+func TestDisturbanceVsAttackEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 1, 12); err != nil {
+		t.Fatalf("disturbance-vs-attack: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"=== Disturbance IDV(6): A feed loss ===",
+		"verdict: disturbance",
+		"=== Integrity attack on XMV(3): valve forced closed ===",
+		"verdict: integrity-attack — forged channel XMV(3)",
+		"oMEDA — controller view",
+		"oMEDA — process view",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

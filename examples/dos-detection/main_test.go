@@ -1,0 +1,28 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestDosDetectionEndToEnd runs the example in-process with a short
+// horizon and asserts a DoS verdict and the run-length contrast surface
+// in the output.
+func TestDosDetectionEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 2, 16); err != nil {
+		t.Fatalf("dos-detection: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"integrity-attack×2",
+		"dos-attack",
+		"DoS detection is an order of magnitude slower",
+		"report: dos-attack",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

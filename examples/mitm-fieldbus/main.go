@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"sync"
 	"time"
@@ -20,13 +21,15 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 400, 200); err != nil {
 		fmt.Fprintln(os.Stderr, "mitm-fieldbus:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// run drives samples closed-loop steps over the TCP fieldbus, arming the
+// MitM rewrite at step armAt (the end-to-end test uses a shorter loop).
+func run(w io.Writer, samples, armAt int) error {
 	// The "plant side": a TCP endpoint receiving actuator frames.
 	var mu sync.Mutex
 	latestXMV := append([]float64(nil), te.BaseXMV[:]...)
@@ -66,7 +69,7 @@ func run() error {
 	}
 	defer func() { _ = cli.Close() }()
 
-	fmt.Printf("plant endpoint %s, MitM proxy %s\n", plantSrv.Addr(), proxy.Addr())
+	fmt.Fprintf(w, "plant endpoint %s, MitM proxy %s\n", plantSrv.Addr(), proxy.Addr())
 
 	proc, err := te.New(te.Config{Seed: 3, StepSeconds: 4.5})
 	if err != nil {
@@ -84,14 +87,14 @@ func run() error {
 		return append([]float64(nil), latestXMV...)
 	}
 
-	fmt.Println("running closed loop over TCP; attack arms after 200 samples…")
+	fmt.Fprintf(w, "running closed loop over TCP; attack arms after %d samples…\n", armAt)
 	var seq uint64
-	for i := 0; i < 400; i++ {
-		if i == 200 {
+	for i := 0; i < samples; i++ {
+		if i == armAt {
 			mu.Lock()
 			armed = true
 			mu.Unlock()
-			fmt.Println(">>> attacker armed: XMV(3) frames are now rewritten to 0")
+			fmt.Fprintln(w, ">>> attacker armed: XMV(3) frames are now rewritten to 0")
 		}
 		cmds, err := ctrl.Step(proc.Measurements(), dt)
 		if err != nil {
@@ -106,7 +109,7 @@ func run() error {
 		for {
 			received := readXMV()
 			if received[te.XmvAFeed] == cmds[te.XmvAFeed] ||
-				(i >= 200 && received[te.XmvAFeed] == 0) || time.Now().After(deadline) {
+				(i >= armAt && received[te.XmvAFeed] == 0) || time.Now().After(deadline) {
 				break
 			}
 			time.Sleep(200 * time.Microsecond)
@@ -118,19 +121,19 @@ func run() error {
 			}
 		}
 		if err := proc.Step(); err != nil {
-			fmt.Printf("plant shut down: %v\n", err)
+			fmt.Fprintf(w, "plant shut down: %v\n", err)
 			break
 		}
-		if i%50 == 0 || i == 201 {
+		if i%50 == 0 || i == armAt+1 {
 			m := proc.TrueMeasurements()
-			fmt.Printf("sample %3d  sent XMV(3)=%6.2f%%  received XMV(3)=%6.2f%%  real A feed=%.4f kscmh\n",
+			fmt.Fprintf(w, "sample %3d  sent XMV(3)=%6.2f%%  received XMV(3)=%6.2f%%  real A feed=%.4f kscmh\n",
 				i, cmds[te.XmvAFeed], received[te.XmvAFeed], m[te.XmeasAFeed])
 		}
 	}
 	m := proc.TrueMeasurements()
-	fmt.Printf("\nfinal: controller commands XMV(3)=%.1f%%, plant receives 0%%, real flow %.4f kscmh\n",
+	fmt.Fprintf(w, "\nfinal: controller commands XMV(3)=%.1f%%, plant receives 0%%, real flow %.4f kscmh\n",
 		ctrl.Outputs()[te.XmvAFeed], m[te.XmeasAFeed])
-	fmt.Println("the divergence between sent and received XMV(3) is exactly what the")
-	fmt.Println("two-view monitor (internal/core) detects and localizes.")
+	fmt.Fprintln(w, "the divergence between sent and received XMV(3) is exactly what the")
+	fmt.Fprintln(w, "two-view monitor (internal/core) detects and localizes.")
 	return nil
 }

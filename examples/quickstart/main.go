@@ -7,20 +7,23 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"os"
 
 	"pcsmon"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Stdout, 3, 12); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	fmt.Println("building lab: warming up the Tennessee-Eastman plant and calibrating MSPC…")
+// run executes the quickstart: runs scenario repetitions of hours each
+// (the end-to-end test uses a shorter horizon than the CLI default).
+func run(w io.Writer, runs int, hours float64) error {
+	fmt.Fprintln(w, "building lab: warming up the Tennessee-Eastman plant and calibrating MSPC…")
 	lab, err := pcsmon.NewLab(pcsmon.LabConfig{
 		// Small, laptop-friendly calibration; see LabConfig for the
 		// paper-scale settings.
@@ -32,30 +35,30 @@ func run() error {
 		return err
 	}
 	mon := lab.System.Monitor()
-	fmt.Printf("calibrated: %d principal components, D99=%.1f, Q99=%.1f\n\n",
+	fmt.Fprintf(w, "calibrated: %d principal components, D99=%.1f, Q99=%.1f\n\n",
 		mon.Model().NComponents(), mon.Limits().D99, mon.Limits().Q99)
 
 	// Scenario (a) of the paper: disturbance IDV(6), anomaly at hour 4.
 	sc := pcsmon.PaperScenarios(4)[0]
-	fmt.Printf("running scenario: %s\n", sc.Name)
-	res, err := lab.RunScenarioFor(sc, 3, 12)
+	fmt.Fprintf(w, "running scenario: %s\n", sc.Name)
+	res, err := lab.RunScenarioFor(sc, runs, hours)
 	if err != nil {
 		return err
 	}
 
 	for i, run := range res.Runs {
 		rep := run.Report
-		fmt.Printf("\nrun %d: verdict=%s\n", i+1, rep.Verdict)
-		fmt.Printf("  %s\n", rep.Explanation)
+		fmt.Fprintf(w, "\nrun %d: verdict=%s\n", i+1, rep.Verdict)
+		fmt.Fprintf(w, "  %s\n", rep.Explanation)
 		if rep.Controller.Detected {
-			fmt.Printf("  controller view: detected after %v; top variable %s\n",
+			fmt.Fprintf(w, "  controller view: detected after %v; top variable %s\n",
 				rep.Controller.Time, pcsmon.VarName(rep.Controller.Top[0]))
 		}
 		if run.Shutdown {
-			fmt.Printf("  plant shut down at %.2f h\n", run.ShutdownHour)
+			fmt.Fprintf(w, "  plant shut down at %.2f h\n", run.ShutdownHour)
 		}
 	}
-	fmt.Printf("\nscenario summary: detection rate %.0f%%, mean run length %v, correct verdicts %.0f%%\n",
+	fmt.Fprintf(w, "\nscenario summary: detection rate %.0f%%, mean run length %v, correct verdicts %.0f%%\n",
 		res.DetectionRate*100, res.MeanRunLength, res.Correct*100)
 	return nil
 }

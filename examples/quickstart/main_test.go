@@ -1,0 +1,29 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartEndToEnd runs the example in-process with a short horizon
+// and asserts it completes (exit 0 in CLI terms) with the expected
+// verdict keywords in its output.
+func TestQuickstartEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 1, 10); err != nil {
+		t.Fatalf("quickstart: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"calibrated:",
+		"running scenario: Disturbance IDV(6)",
+		"verdict=disturbance",
+		"scenario summary:",
+		"correct verdicts 100%",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package fieldbus
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"testing"
+)
+
+// fuzzSeedFrames returns a few representative valid frames for seeding.
+func fuzzSeedFrames() []*Frame {
+	return []*Frame{
+		{Type: FrameSensor, Unit: 0, Seq: 0, Values: []float64{0}},
+		{Type: FrameActuator, Unit: 7, Seq: 42, Values: []float64{1.5, -2.25, math.Pi}},
+		{Type: FrameSensor, Unit: 255, Seq: ^uint64(0), Values: make([]float64, MaxValues)},
+		{Type: FrameSensor, Unit: 3, Seq: 9, Values: []float64{math.Inf(1), math.Inf(-1), math.NaN(), -0.0}},
+	}
+}
+
+// FuzzFrameUnmarshal throws arbitrary bytes at the codec. Any input that
+// decodes must re-encode to exactly the bytes that were decoded (the codec
+// is canonical), and the re-encoded frame must round-trip bit-identically
+// — NaN payloads included, since values travel as raw IEEE-754 bits.
+func FuzzFrameUnmarshal(f *testing.F) {
+	for _, fr := range fuzzSeedFrames() {
+		data, err := fr.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Corrupted seeds: truncation, bad magic, bad count, flipped CRC.
+	valid, _ := (&Frame{Type: FrameSensor, Seq: 1, Values: []float64{1, 2}}).Marshal()
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:5])
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	big := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint16(big[12:], MaxValues+1)
+	f.Add(big)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var fr Frame
+		if err := fr.UnmarshalInto(data); err != nil {
+			return // malformed input must only error, never panic
+		}
+		if len(fr.Values) == 0 || len(fr.Values) > MaxValues {
+			t.Fatalf("decoded %d values outside (0,%d]", len(fr.Values), MaxValues)
+		}
+		out, err := fr.Marshal()
+		if err != nil {
+			t.Fatalf("re-marshal of decoded frame failed: %v", err)
+		}
+		want := EncodedSize(len(fr.Values))
+		if len(out) != want {
+			t.Fatalf("re-marshal produced %d bytes, want %d", len(out), want)
+		}
+		// The decoder ignores trailing garbage; the decoded prefix must be
+		// byte-identical to what Marshal produces.
+		if !bytes.Equal(out, data[:want]) {
+			t.Fatalf("codec not canonical:\ndecoded from: %x\nre-encoded:   %x", data[:want], out)
+		}
+		var back Frame
+		if err := back.UnmarshalInto(out); err != nil {
+			t.Fatalf("round-trip decode failed: %v", err)
+		}
+		if back.Type != fr.Type || back.Unit != fr.Unit || back.Seq != fr.Seq {
+			t.Fatalf("header changed in round trip: %+v vs %+v", back, fr)
+		}
+		for i := range fr.Values {
+			if math.Float64bits(back.Values[i]) != math.Float64bits(fr.Values[i]) {
+				t.Fatalf("value %d changed bits: %x vs %x",
+					i, math.Float64bits(back.Values[i]), math.Float64bits(fr.Values[i]))
+			}
+		}
+	})
+}
+
+// FuzzReadFrame exercises the length-prefixed TCP framing: arbitrary byte
+// streams must either yield a frame that survives a write/read round trip
+// or fail cleanly. Oversized and truncated length prefixes must be
+// rejected without reading the body.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(fr *Frame) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, fr := range fuzzSeedFrames() {
+		f.Add(frame(fr))
+	}
+	// Two frames back to back.
+	two := append(frame(fuzzSeedFrames()[0]), frame(fuzzSeedFrames()[1])...)
+	f.Add(two)
+	// Oversized length prefix.
+	over := make([]byte, 4)
+	binary.BigEndian.PutUint32(over, uint32(EncodedSize(MaxValues))+1)
+	f.Add(over)
+	// Zero length prefix, truncated prefix, truncated body.
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0, 0})
+	f.Add(frame(fuzzSeedFrames()[1])[:10])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		fr, err := ReadFrame(r)
+		if err != nil {
+			if fr != nil {
+				t.Fatal("non-nil frame alongside error")
+			}
+			return
+		}
+		// A parsed frame must survive the wire round trip unchanged.
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr); err != nil {
+			t.Fatalf("re-write of read frame failed: %v", err)
+		}
+		back, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-read failed: %v", err)
+		}
+		if back.Type != fr.Type || back.Unit != fr.Unit || back.Seq != fr.Seq ||
+			len(back.Values) != len(fr.Values) {
+			t.Fatalf("wire round trip changed frame: %+v vs %+v", back, fr)
+		}
+	})
+}
+
+// TestReadFrameRejectsOversizedPrefix pins the bound the fuzzer relies on:
+// a length prefix beyond the biggest legal frame must fail fast with
+// ErrBadFrame, not attempt a huge allocation.
+func TestReadFrameRejectsOversizedPrefix(t *testing.T) {
+	var buf bytes.Buffer
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(EncodedSize(MaxValues))+1)
+	buf.Write(lenBuf[:])
+	if _, err := ReadFrame(&buf); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("oversized prefix: want ErrBadFrame, got %v", err)
+	}
+	binary.BigEndian.PutUint32(lenBuf[:], 0)
+	if _, err := ReadFrame(bytes.NewReader(lenBuf[:])); !errors.Is(err, ErrBadFrame) {
+		t.Errorf("zero prefix: want ErrBadFrame, got %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 1})); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("truncated prefix: want ErrUnexpectedEOF, got %v", err)
+	}
+}

@@ -1,0 +1,526 @@
+// Package fleet scales the paper's single-plant monitor to fleets: one
+// calibrated core.System is read-only after calibration, so it can legally
+// score thousands of independent plant streams at once. A Pool shards the
+// streams over a fixed set of worker goroutines — each stream (one
+// core.OnlineAnalyzer plus scratch row buffers) is owned by exactly one
+// worker, selected by hashing the plant ID — and fans the per-observation
+// results in as typed events through one buffered, back-pressure-aware
+// channel.
+//
+// Concurrency contract:
+//
+//   - A stream's analyzer is confined to its worker goroutine; no lock is
+//     ever taken around scoring.
+//   - All messages for one plant flow through one FIFO mailbox, so a
+//     plant's observations are scored in the exact order they were pushed
+//     and its events are emitted in that order. Events of different plants
+//     interleave arbitrarily.
+//   - Nothing is dropped: when the event channel fills (a slow consumer),
+//     workers block, mailboxes fill, and Push blocks — back-pressure
+//     propagates to the producers instead of losing or reordering events.
+//   - Push copies its rows into pooled scratch buffers before handing them
+//     to the worker; callers may reuse their row slices immediately.
+//
+// A plant scored through a Pool produces a report bit-identical to the same
+// rows replayed through a lone core.OnlineAnalyzer (the golden parity the
+// package tests enforce): sharding changes scheduling, never results.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcsmon/internal/core"
+	"pcsmon/internal/mspc"
+)
+
+// Package-level sentinel errors.
+var (
+	// ErrBadConfig is returned for invalid pool parameters.
+	ErrBadConfig = errors.New("fleet: invalid configuration")
+	// ErrClosed is returned when operating on a closed pool.
+	ErrClosed = errors.New("fleet: pool closed")
+	// ErrDuplicatePlant is returned when attaching an already-attached ID.
+	ErrDuplicatePlant = errors.New("fleet: plant already attached")
+	// ErrUnknownPlant is returned for operations on an unattached ID.
+	ErrUnknownPlant = errors.New("fleet: unknown plant")
+)
+
+// Event is a typed fan-in event from one plant's stream. The concrete
+// types are Scored, Alarm and Verdict.
+type Event interface {
+	// PlantID identifies the stream the event belongs to.
+	PlantID() string
+	fleetEvent()
+}
+
+// Scored reports one scored observation of one plant — the fleet analogue
+// of the facade's SampleScored.
+type Scored struct {
+	Plant string
+	Step  core.StepResult
+}
+
+// Alarm reports that one view of one plant latched a run-rule detection.
+type Alarm struct {
+	Plant string
+	// View is "controller" or "process".
+	View      string
+	Detection mspc.Detection
+}
+
+// Verdict carries a detached stream's final classified report. Err is
+// non-nil when the stream failed (e.g. detached before any observation).
+type Verdict struct {
+	Plant   string
+	Report  *core.Report
+	Samples int
+	Err     error
+}
+
+// PlantID implements Event.
+func (e Scored) PlantID() string  { return e.Plant }
+func (e Alarm) PlantID() string   { return e.Plant }
+func (e Verdict) PlantID() string { return e.Plant }
+
+func (Scored) fleetEvent()  {}
+func (Alarm) fleetEvent()   {}
+func (Verdict) fleetEvent() {}
+
+// Config parameterizes a Pool. The zero value selects GOMAXPROCS workers,
+// a 64-message mailbox per worker and a 256-event emitter buffer.
+type Config struct {
+	// Workers is the number of worker goroutines the streams are sharded
+	// over (0 = GOMAXPROCS). More workers than streams is wasteful but
+	// harmless; each stream is pinned to exactly one worker.
+	Workers int
+	// Mailbox is the per-worker queue depth in observations (0 = 64). A
+	// full mailbox blocks Push — the knob trading producer latency against
+	// memory.
+	Mailbox int
+	// EventBuffer is the fan-in event channel depth (0 = 256). A full
+	// buffer blocks the workers (and transitively Push) until the consumer
+	// catches up; events are never dropped.
+	EventBuffer int
+	// Sample is the observation interval reported in the final reports.
+	Sample time.Duration
+	// EmitEvery thins Scored events to one in N observations per plant
+	// (0 or 1 = every observation, negative = none). Alarm and Verdict
+	// events are always emitted.
+	EmitEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Mailbox == 0 {
+		c.Mailbox = 64
+	}
+	if c.EventBuffer == 0 {
+		c.EventBuffer = 256
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.Workers < 0:
+		return fmt.Errorf("fleet: workers %d: %w", c.Workers, ErrBadConfig)
+	case c.Mailbox < 0:
+		return fmt.Errorf("fleet: mailbox %d: %w", c.Mailbox, ErrBadConfig)
+	case c.EventBuffer < 0:
+		return fmt.Errorf("fleet: event buffer %d: %w", c.EventBuffer, ErrBadConfig)
+	case c.Sample < 0:
+		return fmt.Errorf("fleet: sample %v: %w", c.Sample, ErrBadConfig)
+	}
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the pool's aggregate counters.
+type Stats struct {
+	// Active is the number of currently attached streams.
+	Active int
+	// Attached counts every stream ever attached.
+	Attached uint64
+	// Observations counts scored observations across all streams.
+	Observations uint64
+	// Alarms counts run-rule detections across all streams and views.
+	Alarms uint64
+	// Verdicts counts completed (detached) streams.
+	Verdicts uint64
+	// ObsPerSec is Observations divided by the wall-clock time since the
+	// pool was created.
+	ObsPerSec float64
+}
+
+// stream is the per-plant state. The analyzer, samples counter, report and
+// err fields are owned by the stream's worker goroutine; the done channel
+// hands the final state back to Detach.
+type stream struct {
+	id string
+	w  *worker
+
+	oa       *core.OnlineAnalyzer
+	samples  int
+	finished bool
+
+	report *core.Report
+	err    error
+	done   chan struct{} // closed by the worker after the Verdict event
+}
+
+// message is one mailbox entry: an observation (rows owned by the pool's
+// scratch free-list; nil marks that view's stream as ended) or, when
+// finish is set, the detach request.
+type message struct {
+	st         *stream
+	ctrl, proc []float64
+	finish     bool
+}
+
+// Pool shards plant streams over a fixed worker set. Create with NewPool;
+// all methods are safe for concurrent use.
+type Pool struct {
+	sys     *core.System
+	cfg     Config
+	cols    int
+	events  chan Event
+	workers []*worker
+	started time.Time
+	wg      sync.WaitGroup
+
+	// mu guards the stream registry and the closed flag. sendMu guards the
+	// worker mailboxes' lifetime: sends hold the read side and re-check
+	// mailboxesClosed, Close sets the flag and closes the channels under
+	// the write side — so a Push or Detach racing Close can never send on
+	// a closed channel.
+	mu              sync.Mutex
+	sendMu          sync.RWMutex
+	mailboxesClosed bool
+	streams         map[string]*stream
+	closed          bool
+
+	scratch sync.Pool // *[]float64 of cols length
+
+	attached     atomic.Uint64
+	observations atomic.Uint64
+	alarms       atomic.Uint64
+	verdicts     atomic.Uint64
+}
+
+type worker struct {
+	pool *Pool
+	in   chan message
+}
+
+// NewPool builds the worker set and event channel over one calibrated
+// system. The caller must consume Events() until it is closed by Close;
+// otherwise producers eventually block (nothing is ever dropped).
+func NewPool(sys *core.System, cfg Config) (*Pool, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("fleet: nil system: %w", ErrBadConfig)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+	// Probe the system once so a miscalibrated one fails at construction,
+	// not at the first Attach.
+	if _, err := sys.NewOnlineAnalyzer(0, cfg.Sample); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	p := &Pool{
+		sys:     sys,
+		cfg:     cfg,
+		cols:    len(sys.Monitor().Scaler().Means()),
+		events:  make(chan Event, cfg.EventBuffer),
+		streams: make(map[string]*stream),
+		started: time.Now(),
+	}
+	p.workers = make([]*worker, cfg.Workers)
+	for i := range p.workers {
+		w := &worker{pool: p, in: make(chan message, cfg.Mailbox)}
+		p.workers[i] = w
+		p.wg.Add(1)
+		go w.run()
+	}
+	return p, nil
+}
+
+// Events returns the fan-in event channel. It is closed by Close after the
+// last event.
+func (p *Pool) Events() <-chan Event { return p.events }
+
+// shard returns the worker owning plant id.
+func (p *Pool) shard(id string) *worker {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(id))
+	return p.workers[h.Sum32()%uint32(len(p.workers))]
+}
+
+// Attach registers a new plant stream. onset is the observation index at
+// which an anomaly is known to begin (0 if unknown), with the same
+// semantics as core.System.NewOnlineAnalyzer.
+func (p *Pool) Attach(id string, onset int) error {
+	if id == "" {
+		return fmt.Errorf("fleet: empty plant id: %w", ErrBadConfig)
+	}
+	oa, err := p.sys.NewOnlineAnalyzer(onset, p.cfg.Sample)
+	if err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
+	st := &stream{id: id, w: p.shard(id), oa: oa, done: make(chan struct{})}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if _, ok := p.streams[id]; ok {
+		return fmt.Errorf("fleet: %q: %w", id, ErrDuplicatePlant)
+	}
+	p.streams[id] = st
+	p.attached.Add(1)
+	return nil
+}
+
+// Push scores the next paired observation of plant id. The rows are copied
+// before Push returns; the caller may reuse its slices. A nil row marks
+// that view's stream as ended (core.OnlineAnalyzer semantics); a
+// single-view feed passes the same slice twice. Push blocks when the
+// plant's worker mailbox is full — the back-pressure path.
+//
+// Pushing concurrently with Detach of the same plant is a caller-side
+// race: observations enqueued after the detach are discarded (never
+// scored out of order).
+func (p *Pool) Push(id string, ctrl, proc []float64) error {
+	if ctrl != nil && len(ctrl) != p.cols {
+		return fmt.Errorf("fleet: controller row has %d vars, want %d: %w", len(ctrl), p.cols, core.ErrBadInput)
+	}
+	if proc != nil && len(proc) != p.cols {
+		return fmt.Errorf("fleet: process row has %d vars, want %d: %w", len(proc), p.cols, core.ErrBadInput)
+	}
+	p.mu.Lock()
+	st, ok := p.streams[id]
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if !ok {
+		return fmt.Errorf("fleet: %q: %w", id, ErrUnknownPlant)
+	}
+	msg := message{st: st}
+	if ctrl != nil {
+		msg.ctrl = p.getRow()
+		copy(msg.ctrl, ctrl)
+	}
+	if proc != nil {
+		msg.proc = p.getRow()
+		copy(msg.proc, proc)
+	}
+	if !p.trySend(st.w, msg) {
+		p.putRow(msg.ctrl)
+		p.putRow(msg.proc)
+		return ErrClosed
+	}
+	return nil
+}
+
+// trySend delivers one mailbox message under the read side of sendMu,
+// re-checking the mailbox lifetime flag so a sender that lost a race with
+// Close reports failure instead of panicking on a closed channel.
+func (p *Pool) trySend(w *worker, msg message) bool {
+	p.sendMu.RLock()
+	defer p.sendMu.RUnlock()
+	if p.mailboxesClosed {
+		return false
+	}
+	w.in <- msg
+	return true
+}
+
+// Detach finalizes plant id's stream: queued observations are scored, the
+// diagnosis runs, a Verdict event is emitted and the classified report is
+// returned. Detach blocks until the verdict is out.
+func (p *Pool) Detach(id string) (*core.Report, error) {
+	p.mu.Lock()
+	st, ok := p.streams[id]
+	if ok {
+		delete(p.streams, id)
+	}
+	p.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("fleet: %q: %w", id, ErrUnknownPlant)
+	}
+	if p.trySend(st.w, message{st: st, finish: true}) {
+		<-st.done
+		return st.report, st.err
+	}
+	// The pool shut down between our registry removal and the send: no
+	// worker will ever see the finish message. Wait for the workers to
+	// drain their mailboxes and exit, then finalize inline — the stream is
+	// quiescent by then. No Verdict event is emitted (the event channel is
+	// closing), but the caller still gets the report.
+	p.wg.Wait()
+	st.finalize()
+	p.verdicts.Add(1)
+	return st.report, st.err
+}
+
+// Close detaches every remaining stream (emitting their Verdict events),
+// stops the workers and closes the event channel. The consumer must keep
+// draining Events() while Close runs. Close is idempotent; operations
+// after it return ErrClosed.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	rest := make([]*stream, 0, len(p.streams))
+	for id, st := range p.streams {
+		rest = append(rest, st)
+		delete(p.streams, id)
+	}
+	p.mu.Unlock()
+	for _, st := range rest {
+		// Close owns these streams (they were removed from the registry
+		// above) and the mailboxes are still open: the send cannot fail.
+		p.trySend(st.w, message{st: st, finish: true})
+	}
+	for _, st := range rest {
+		<-st.done
+	}
+	// Exclude in-flight sends (a Push that read closed=false just before
+	// we flipped it), then shut the mailboxes down; later senders see
+	// mailboxesClosed and back off.
+	p.sendMu.Lock()
+	p.mailboxesClosed = true
+	for _, w := range p.workers {
+		close(w.in)
+	}
+	p.sendMu.Unlock()
+	p.wg.Wait()
+	close(p.events)
+	return nil
+}
+
+// Stats snapshots the aggregate counters.
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	active := len(p.streams)
+	p.mu.Unlock()
+	obs := p.observations.Load()
+	elapsed := time.Since(p.started).Seconds()
+	var rate float64
+	if elapsed > 0 {
+		rate = float64(obs) / elapsed
+	}
+	return Stats{
+		Active:       active,
+		Attached:     p.attached.Load(),
+		Observations: obs,
+		Alarms:       p.alarms.Load(),
+		Verdicts:     p.verdicts.Load(),
+		ObsPerSec:    rate,
+	}
+}
+
+// getRow takes a cols-sized scratch row from the free-list.
+func (p *Pool) getRow() []float64 {
+	if v := p.scratch.Get(); v != nil {
+		return *(v.(*[]float64))
+	}
+	return make([]float64, p.cols)
+}
+
+// putRow returns a scratch row to the free-list.
+func (p *Pool) putRow(row []float64) {
+	if row == nil {
+		return
+	}
+	p.scratch.Put(&row)
+}
+
+// run is the worker loop: score observations in mailbox order, emit
+// events, finalize on detach. It exits when the mailbox is closed.
+func (w *worker) run() {
+	defer w.pool.wg.Done()
+	p := w.pool
+	for msg := range w.in {
+		st := msg.st
+		if msg.finish {
+			w.finish(st)
+			continue
+		}
+		if st.finished {
+			// Observation raced past a concurrent Detach; drop it.
+			p.putRow(msg.ctrl)
+			p.putRow(msg.proc)
+			continue
+		}
+		res, err := st.oa.Push(msg.ctrl, msg.proc)
+		p.putRow(msg.ctrl)
+		p.putRow(msg.proc)
+		if err != nil {
+			// Row-shape errors are caught in Push; anything here poisons
+			// the stream and surfaces in the Verdict.
+			st.finished = true
+			st.err = fmt.Errorf("fleet: %q: %w", st.id, err)
+			continue
+		}
+		st.samples++
+		p.observations.Add(1)
+		w.emitStep(st, res)
+	}
+}
+
+// emitStep converts one StepResult into fan-in events, honouring the
+// Scored thinning.
+func (w *worker) emitStep(st *stream, res core.StepResult) {
+	p := w.pool
+	every := p.cfg.EmitEvery
+	if every >= 0 && (every <= 1 || res.Index%every == 0) {
+		p.events <- Scored{Plant: st.id, Step: res}
+	}
+	if res.CtrlAlarm != nil {
+		p.alarms.Add(1)
+		p.events <- Alarm{Plant: st.id, View: "controller", Detection: *res.CtrlAlarm}
+	}
+	if res.ProcAlarm != nil {
+		p.alarms.Add(1)
+		p.events <- Alarm{Plant: st.id, View: "process", Detection: *res.ProcAlarm}
+	}
+}
+
+// finalize runs the stream's diagnosis + classification exactly once. It
+// must only be called by the goroutine that owns the stream at that
+// moment: its worker, or a Detach that outlived the workers.
+func (st *stream) finalize() {
+	st.finished = true
+	if st.err == nil && st.report == nil {
+		rep, err := st.oa.Finish()
+		if err != nil {
+			st.err = fmt.Errorf("fleet: %q: %w", st.id, err)
+		} else {
+			st.report = rep
+		}
+	}
+}
+
+// finish closes a stream: diagnosis + classification, Verdict event, and
+// the done handshake Detach waits on.
+func (w *worker) finish(st *stream) {
+	p := w.pool
+	st.finalize()
+	p.verdicts.Add(1)
+	p.events <- Verdict{Plant: st.id, Report: st.report, Samples: st.samples, Err: st.err}
+	close(st.done)
+}

@@ -395,6 +395,67 @@ func (e *Experiment) batchOne(sc Scenario, seed int64) (*RunOutcome, error) {
 	return out, nil
 }
 
+// OnsetIndex returns the retained-observation index at which the
+// scenario's anomaly begins under the experiment's sampling geometry —
+// what streaming consumers that hold their own analyzers (the fleet pool)
+// pass to NewOnlineAnalyzer.
+func (e *Experiment) OnsetIndex() int {
+	_, _, onsetIdx := e.geometry()
+	return onsetIdx
+}
+
+// SampleInterval returns the retained-observation interval under the
+// experiment's sampling geometry.
+func (e *Experiment) SampleInterval() time.Duration {
+	_, sample, _ := e.geometry()
+	return sample
+}
+
+// FeedOutcome reports how a Feed simulation ended.
+type FeedOutcome struct {
+	// Shutdown reports that the plant tripped before the horizon.
+	Shutdown bool
+	// Hours is the simulated duration actually reached.
+	Hours float64
+}
+
+// Feed simulates one run of sc and delivers every retained paired
+// observation to tap in order — the simulation-only counterpart of Stream
+// for consumers that hold their own analyzers (the fleet pool scores many
+// Feed streams against one shared system). The tap's rows are reused
+// buffers, valid only for the duration of the call; an error returned by
+// the tap aborts the simulation and propagates.
+func (e *Experiment) Feed(sc Scenario, seed int64, tap historian.Tap) (*FeedOutcome, error) {
+	if err := e.validate(1); err != nil {
+		return nil, err
+	}
+	if tap == nil {
+		return nil, fmt.Errorf("scenario: nil tap: %w", ErrBadConfig)
+	}
+	decimate, _, _ := e.geometry()
+	run, err := e.Template.NewRun(plant.RunConfig{
+		Seed:     seed,
+		IDVs:     sc.IDVs,
+		Attacks:  sc.Attacks,
+		Decimate: decimate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	views := run.Views()
+	views.SetRetain(false)
+	views.SetTap(tap)
+	for run.Hours() < e.Hours {
+		if err := run.Step(); err != nil {
+			if errors.Is(err, te.ErrShutdown) {
+				break
+			}
+			return nil, err
+		}
+	}
+	return &FeedOutcome{Shutdown: run.Shutdown(), Hours: run.Hours()}, nil
+}
+
 // StreamCallback observes every scored observation of a streaming run.
 type StreamCallback func(core.StepResult)
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"pcsmon/internal/core"
@@ -73,6 +74,13 @@ type StreamOptions struct {
 	// (0 or 1 = every observation, negative = none). Alarm and verdict
 	// events are always emitted.
 	EmitEvery int
+	// EventBuffer decouples the emit handler from the plant loop: when
+	// > 0, events are delivered from a dedicated goroutine through a
+	// buffered channel of this depth, so a slow consumer (UI, network
+	// sink) does not stall the simulation until the buffer fills. Events
+	// are never dropped or reordered. 0 keeps the synchronous in-loop
+	// delivery.
+	EventBuffer int
 }
 
 // StreamScenario simulates one run of a scenario and monitors it online:
@@ -85,14 +93,46 @@ func (l *Lab) StreamScenario(sc Scenario, opts StreamOptions, emit func(StreamEv
 	exp := l.newExperiment(sc, opts.Hours)
 	exp.EarlyStop = opts.EarlyStop
 	exp.StopHorizon = opts.StopHorizon
-	out, err := exp.Stream(sc, exp.RunSeed(opts.Seed), stepEmitter(emit, opts.EmitEvery))
+	send := emit
+	if opts.EventBuffer > 0 && emit != nil {
+		var flush func()
+		send, flush = NewBufferedEmitter(emit, opts.EventBuffer)
+		defer flush()
+	}
+	out, err := exp.Stream(sc, exp.RunSeed(opts.Seed), stepEmitter(send, opts.EmitEvery))
 	if err != nil {
 		return nil, fmt.Errorf("pcsmon: %w", err)
 	}
-	if emit != nil {
-		emit(VerdictReady{Report: out.Report, Samples: out.Samples, Stopped: out.Stopped})
+	if send != nil {
+		send(VerdictReady{Report: out.Report, Samples: out.Samples, Stopped: out.Stopped})
 	}
 	return out.Report, nil
+}
+
+// NewBufferedEmitter decouples an event consumer from its producer: send
+// enqueues events into a buffered channel drained by one goroutine that
+// calls emit in order. The producer only blocks once depth events are
+// pending (back-pressure); nothing is dropped or reordered. flush waits
+// until every sent event has been handled and stops the goroutine; it is
+// idempotent, and send must not be called after it.
+func NewBufferedEmitter(emit func(StreamEvent), depth int) (send func(StreamEvent), flush func()) {
+	if depth < 1 {
+		depth = 1
+	}
+	ch := make(chan StreamEvent, depth)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range ch {
+			emit(ev)
+		}
+	}()
+	var once sync.Once
+	return func(ev StreamEvent) { ch <- ev },
+		func() {
+			once.Do(func() { close(ch) })
+			<-done
+		}
 }
 
 // StreamFeed supplies successive paired observations (engineering units,
@@ -149,16 +189,7 @@ func stepEmitter(emit func(StreamEvent), every int) func(core.StepResult) {
 	}
 	return func(res core.StepResult) {
 		if every >= 0 && (every <= 1 || res.Index%every == 0) {
-			ev := SampleScored{Index: res.Index}
-			if res.Ctrl != nil {
-				ev.CtrlD, ev.CtrlQ = res.Ctrl.Stats.D, res.Ctrl.Stats.Q
-				ev.CtrlOver = res.Ctrl.Over()
-			}
-			if res.Proc != nil {
-				ev.ProcD, ev.ProcQ = res.Proc.Stats.D, res.Proc.Stats.Q
-				ev.ProcOver = res.Proc.Over()
-			}
-			emit(ev)
+			emit(scoredEvent(res))
 		}
 		if res.CtrlAlarm != nil {
 			emit(alarmEvent("controller", res.CtrlAlarm.Index, res.CtrlAlarm.RunStart, res.CtrlAlarm.Charts))
@@ -167,6 +198,21 @@ func stepEmitter(emit func(StreamEvent), every int) func(core.StepResult) {
 			emit(alarmEvent("process", res.ProcAlarm.Index, res.ProcAlarm.RunStart, res.ProcAlarm.Charts))
 		}
 	}
+}
+
+// scoredEvent converts one scoring step into the chart-statistics event —
+// shared by the single-stream emitter and the fleet event converter.
+func scoredEvent(res core.StepResult) SampleScored {
+	ev := SampleScored{Index: res.Index}
+	if res.Ctrl != nil {
+		ev.CtrlD, ev.CtrlQ = res.Ctrl.Stats.D, res.Ctrl.Stats.Q
+		ev.CtrlOver = res.Ctrl.Over()
+	}
+	if res.Proc != nil {
+		ev.ProcD, ev.ProcQ = res.Proc.Stats.D, res.Proc.Stats.Q
+		ev.ProcOver = res.Proc.Over()
+	}
+	return ev
 }
 
 func alarmEvent(view string, index, runStart int, charts []mspc.Chart) AlarmRaised {

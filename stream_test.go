@@ -142,6 +142,69 @@ func TestStreamFeed(t *testing.T) {
 	}
 }
 
+// TestStreamBackPressureSlowConsumer: with a buffered emitter, a handler
+// that sleeps must not cause any SampleScored/AlarmRaised/VerdictReady
+// event to be dropped or reordered — the buffer only decouples the plant
+// loop from the consumer; once it fills, back-pressure stalls the producer
+// instead of losing events. The slow run's event sequence must be
+// element-for-element identical to a synchronous run of the same seed.
+func TestStreamBackPressureSlowConsumer(t *testing.T) {
+	l := testLab(t)
+	sc := pcsmon.PaperScenarios(3)[1] // integrity on XMV(3)
+
+	var baseline []pcsmon.StreamEvent
+	baseRep, err := l.StreamScenario(sc, pcsmon.StreamOptions{Hours: 8}, func(ev pcsmon.StreamEvent) {
+		baseline = append(baseline, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var slow []pcsmon.StreamEvent
+	slowRep, err := l.StreamScenario(sc, pcsmon.StreamOptions{
+		Hours:       8,
+		EventBuffer: 16, // much smaller than the event count: the buffer must fill
+	}, func(ev pcsmon.StreamEvent) {
+		time.Sleep(20 * time.Microsecond) // slower than the plant produces
+		slow = append(slow, ev)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(slow) != len(baseline) {
+		t.Fatalf("slow consumer saw %d events, synchronous run %d — events were dropped",
+			len(slow), len(baseline))
+	}
+	lastIdx := -1
+	for i, ev := range slow {
+		if !reflect.DeepEqual(ev, baseline[i]) {
+			t.Fatalf("event %d reordered or altered:\nslow: %+v\nbase: %+v", i, ev, baseline[i])
+		}
+		if s, ok := ev.(pcsmon.SampleScored); ok {
+			if s.Index != lastIdx+1 {
+				t.Fatalf("sample index %d after %d", s.Index, lastIdx)
+			}
+			lastIdx = s.Index
+		}
+	}
+	if _, ok := slow[len(slow)-1].(pcsmon.VerdictReady); !ok {
+		t.Errorf("last event %T, want VerdictReady", slow[len(slow)-1])
+	}
+	if !reflect.DeepEqual(slowRep, baseRep) {
+		t.Error("buffered-emitter run produced a different report")
+	}
+	alarms := 0
+	for _, ev := range slow {
+		if _, ok := ev.(pcsmon.AlarmRaised); ok {
+			alarms++
+		}
+	}
+	if alarms == 0 {
+		t.Error("no alarms in the slow-consumer event stream")
+	}
+}
+
 // TestLabConfigValidation covers the facade's config validation satellite.
 func TestLabConfigValidation(t *testing.T) {
 	cases := []pcsmon.LabConfig{
