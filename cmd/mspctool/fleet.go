@@ -35,25 +35,47 @@ import (
 func runFleet(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("mspctool fleet", flag.ContinueOnError)
 	var (
-		calPath    = fs.String("cal", "", "NOC calibration CSV (required)")
-		sampleSec  = fs.Float64("sample", 4.5, "observation interval of the monitored streams [s]")
-		onsetHour  = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known (applies to every plant)")
-		components = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
-		workers    = fs.Int("workers", 0, "scoring workers (0 = GOMAXPROCS)")
-		every      = fs.Int("every", -1, "print chart statistics every N observations per plant (-1 = alarms only)")
-		listen     = fs.String("listen", "", "accept fieldbus frames on this TCP address instead of reading CSV from stdin")
-		maxObs     = fs.Int64("max-obs", 0, "TCP mode: stop after this many observations (0 = rely on -idle)")
-		idle       = fs.Duration("idle", 5*time.Second, "TCP mode: stop after this long without traffic")
+		calPath     = fs.String("cal", "", "NOC calibration CSV (required)")
+		sampleSec   = fs.Float64("sample", 4.5, "observation interval of the monitored streams [s]")
+		onsetHour   = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known (applies to every plant)")
+		components  = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
+		workers     = fs.Int("workers", 0, "scoring workers (0 = GOMAXPROCS)")
+		every       = fs.Int("every", -1, "print chart statistics every N observations per plant (-1 = alarms only)")
+		adaptEvery  = fs.Int("adapt-every", 0, "refit the shared model every N in-control observations (0 = frozen model)")
+		adaptForget = fs.Float64("adapt-forget", 0, "EWMA forget factor in (0,1] for adaptive refits (0 = default 0.999)")
+		listen      = fs.String("listen", "", "accept fieldbus frames on this TCP address instead of reading CSV from stdin")
+		maxObs      = fs.Int64("max-obs", 0, "TCP mode: stop after this many observations (0 = rely on -idle)")
+		idle        = fs.Duration("idle", 5*time.Second, "TCP mode: stop after this long without traffic")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *calPath == "" {
 		fs.Usage()
-		return fmt.Errorf("-cal is required")
+		return fmt.Errorf("mspctool fleet: -cal is required: %w", pcsmon.ErrBadConfig)
 	}
-	if *sampleSec <= 0 {
-		return fmt.Errorf("-sample must be positive")
+	// Validate every flag combination up front (wrapped ErrBadConfig, the
+	// scenario-package style) so a bad invocation fails before calibration
+	// instead of panicking mid-stream or silently ignoring flags.
+	switch {
+	case *sampleSec <= 0:
+		return fmt.Errorf("mspctool fleet: -sample %g must be positive: %w", *sampleSec, pcsmon.ErrBadConfig)
+	case *onsetHour < 0:
+		return fmt.Errorf("mspctool fleet: -onset-hour %g must be >= 0: %w", *onsetHour, pcsmon.ErrBadConfig)
+	case *components < 0:
+		return fmt.Errorf("mspctool fleet: -components %d must be >= 0: %w", *components, pcsmon.ErrBadConfig)
+	case *workers < 0:
+		return fmt.Errorf("mspctool fleet: -workers %d must be >= 0: %w", *workers, pcsmon.ErrBadConfig)
+	case *maxObs < 0:
+		return fmt.Errorf("mspctool fleet: -max-obs %d must be >= 0: %w", *maxObs, pcsmon.ErrBadConfig)
+	case *idle <= 0:
+		return fmt.Errorf("mspctool fleet: -idle %v must be positive: %w", *idle, pcsmon.ErrBadConfig)
+	case *listen == "" && tcpFlagSet(fs):
+		return fmt.Errorf("mspctool fleet: -max-obs/-idle only apply with -listen: %w", pcsmon.ErrBadConfig)
+	}
+	adaptive, err := adaptiveFlags(fs, "mspctool fleet", *adaptEvery, *adaptForget)
+	if err != nil {
+		return err
 	}
 	sys, err := calibrateFrom(*calPath, *components, out)
 	if err != nil {
@@ -64,6 +86,7 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		Workers:   *workers,
 		EmitEvery: *every,
 		Sample:    time.Duration(*sampleSec * float64(time.Second)),
+		Adaptive:  adaptive,
 	})
 	if err != nil {
 		return err
@@ -85,6 +108,9 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 			case pcsmon.AlarmRaised:
 				fmt.Fprintf(out, "ALARM [%s/%s] at obs %d (run start %d, charts %v)\n",
 					ev.Plant, e.View, e.Index, e.RunStart, e.Charts)
+			case pcsmon.ModelSwapped:
+				fmt.Fprintf(out, "MODEL SWAP [%s] at obs %d -> generation %d (D99=%.2f Q99=%.2f)\n",
+					ev.Plant, e.Index, e.Generation, e.D99, e.Q99)
 			case pcsmon.VerdictReady:
 				reports[ev.Plant] = e.Report
 				samples[ev.Plant] = e.Samples
@@ -152,6 +178,17 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 	fmt.Fprintf(out, "\nfleet: %d plants, %d observations, %d alarms, %.0f obs/sec\n",
 		stats.Attached, stats.Observations, stats.Alarms, stats.ObsPerSec)
 	return nil
+}
+
+// tcpFlagSet reports whether a TCP-mode-only flag was given explicitly.
+func tcpFlagSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "max-obs" || f.Name == "idle" {
+			set = true
+		}
+	})
+	return set
 }
 
 // demuxFleetCSV reads interleaved "plant,<53 vars>" rows and routes each

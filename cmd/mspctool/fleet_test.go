@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"pcsmon"
 	"pcsmon/internal/fieldbus"
 	"pcsmon/internal/historian"
 )
@@ -249,5 +251,74 @@ func TestFleetSubcommandTCP(t *testing.T) {
 	}
 	if strings.Contains(text, "unit-009") {
 		t.Errorf("undersized frame attached a plant:\n%s", text)
+	}
+}
+
+// TestFleetFlagValidation: every bad flag combination must fail up front
+// with an ErrBadConfig-wrapped error, before calibration or any streaming —
+// no panics, no silently ignored flags.
+func TestFleetFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	cases := [][]string{
+		{"-cal", cal, "-sample", "0"},
+		{"-cal", cal, "-sample", "-4.5"},
+		{"-cal", cal, "-onset-hour", "-1"},
+		{"-cal", cal, "-components", "-2"},
+		{"-cal", cal, "-workers", "-1"},
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-max-obs", "-5"},
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-idle", "-1s"},
+		{"-cal", cal, "-max-obs", "10"}, // TCP-only flag without -listen
+		{"-cal", cal, "-idle", "1s"},    // TCP-only flag without -listen
+		{"-cal", cal, "-adapt-every", "-10"},
+		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "1.5"},
+		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "0"},
+		{"-cal", cal, "-adapt-forget", "0.99"}, // forget without cadence
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		err := runFleet(args, strings.NewReader(""), &out)
+		if !errors.Is(err, pcsmon.ErrBadConfig) {
+			t.Errorf("%v: want ErrBadConfig, got %v", args, err)
+		}
+		if strings.Contains(out.String(), "calibrated") {
+			t.Errorf("%v: calibration ran before validation", args)
+		}
+	}
+}
+
+// TestFleetSubcommandAdaptive: the -adapt-every/-adapt-forget pair must
+// drive the adaptive pool end to end — NOC plants classified normal, the
+// attacked plant still localized.
+func TestFleetSubcommandAdaptive(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	plants := []string{"alpha", "beta"}
+	stream := interleavedCSV(t, 3, plants, 260, 0, 130, -30,
+		map[string]bool{"beta": true})
+	var out bytes.Buffer
+	err := runFleet([]string{
+		"-cal", cal,
+		"-sample", "9",
+		"-onset-hour", "0.325",
+		"-adapt-every", "64",
+		"-adapt-forget", "0.999",
+	}, strings.NewReader(stream), &out)
+	if err != nil {
+		t.Fatalf("runFleet: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "plant alpha: normal") {
+		t.Errorf("alpha not normal:\n%s", text)
+	}
+	// Single-view streams cannot diverge, so the shifted plant reads as an
+	// anomaly/disturbance — it must alarm and must not be normal.
+	if !strings.Contains(text, "ALARM [beta/") || strings.Contains(text, "plant beta: normal") {
+		t.Errorf("beta not flagged:\n%s", text)
+	}
+	if !strings.Contains(text, "MODEL SWAP [") {
+		t.Errorf("no model swaps surfaced:\n%s", text)
 	}
 }

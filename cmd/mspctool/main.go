@@ -118,22 +118,28 @@ func run(args []string) error {
 func runWatch(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("mspctool watch", flag.ContinueOnError)
 	var (
-		calPath    = fs.String("cal", "", "NOC calibration CSV (required)")
-		procPath   = fs.String("proc", "", "process-view CSV read in lockstep with stdin")
-		onsetHour  = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known")
-		sampleSec  = fs.Float64("sample", 4.5, "observation interval of the monitored stream [s]")
-		components = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
-		every      = fs.Int("every", 0, "print chart statistics every N observations (0 = alarms only)")
+		calPath     = fs.String("cal", "", "NOC calibration CSV (required)")
+		procPath    = fs.String("proc", "", "process-view CSV read in lockstep with stdin")
+		onsetHour   = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known")
+		sampleSec   = fs.Float64("sample", 4.5, "observation interval of the monitored stream [s]")
+		components  = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
+		every       = fs.Int("every", 0, "print chart statistics every N observations (0 = alarms only)")
+		adaptEvery  = fs.Int("adapt-every", 0, "refit the model every N in-control observations (0 = frozen model)")
+		adaptForget = fs.Float64("adapt-forget", 0, "EWMA forget factor in (0,1] for adaptive refits (0 = default 0.999)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *calPath == "" {
 		fs.Usage()
-		return fmt.Errorf("-cal is required")
+		return fmt.Errorf("mspctool watch: -cal is required: %w", pcsmon.ErrBadConfig)
 	}
 	if *sampleSec <= 0 {
-		return fmt.Errorf("-sample must be positive")
+		return fmt.Errorf("mspctool watch: -sample %g must be positive: %w", *sampleSec, pcsmon.ErrBadConfig)
+	}
+	adaptive, err := adaptiveFlags(fs, "mspctool watch", *adaptEvery, *adaptForget)
+	if err != nil {
+		return err
 	}
 	sys, err := calibrateFrom(*calPath, *components, out)
 	if err != nil {
@@ -183,18 +189,45 @@ func runWatch(args []string, in io.Reader, out io.Writer) error {
 		case pcsmon.AlarmRaised:
 			fmt.Fprintf(out, "ALARM [%s] at obs %d (run start %d, charts %v)\n",
 				e.View, e.Index, e.RunStart, e.Charts)
+		case pcsmon.ModelSwapped:
+			fmt.Fprintf(out, "MODEL SWAP at obs %d -> generation %d (D99=%.2f Q99=%.2f)\n",
+				e.Index, e.Generation, e.D99, e.Q99)
 		case pcsmon.VerdictReady:
 			fmt.Fprintf(out, "\nend of stream after %d observations\n\n", e.Samples)
 		}
 	}
 	onset := onsetIndex(*onsetHour, *sampleSec)
 	sample := time.Duration(*sampleSec * float64(time.Second))
-	rep, err := pcsmon.Stream(sys, onset, sample, feed, emit)
+	rep, err := pcsmon.StreamAdaptive(sys, onset, sample, adaptive, feed, emit)
 	if err != nil {
 		return err
 	}
 	fmt.Fprint(out, rep.Render())
 	return nil
+}
+
+// adaptiveFlags validates and converts the shared -adapt-every/-adapt-forget
+// flag pair (watch and fleet subcommands) into facade options, wrapping
+// pcsmon.ErrBadConfig on misuse.
+func adaptiveFlags(fs *flag.FlagSet, cmd string, every int, forget float64) (pcsmon.AdaptiveOptions, error) {
+	forgetSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "adapt-forget" {
+			forgetSet = true
+		}
+	})
+	switch {
+	case every < 0:
+		return pcsmon.AdaptiveOptions{}, fmt.Errorf("%s: -adapt-every %d must be >= 0: %w", cmd, every, pcsmon.ErrBadConfig)
+	case forgetSet && (forget <= 0 || forget > 1):
+		return pcsmon.AdaptiveOptions{}, fmt.Errorf("%s: -adapt-forget %g must be in (0,1]: %w", cmd, forget, pcsmon.ErrBadConfig)
+	case forgetSet && every == 0:
+		return pcsmon.AdaptiveOptions{}, fmt.Errorf("%s: -adapt-forget requires -adapt-every: %w", cmd, pcsmon.ErrBadConfig)
+	}
+	if every == 0 {
+		return pcsmon.AdaptiveOptions{}, nil
+	}
+	return pcsmon.AdaptiveOptions{Enabled: true, Every: every, Forget: forget}, nil
 }
 
 // onsetIndex converts an anomaly onset in hours to a retained-observation

@@ -2,12 +2,14 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"pcsmon"
 	"pcsmon/internal/dataset"
 	"pcsmon/internal/historian"
 )
@@ -142,5 +144,48 @@ func TestMspctoolRequiresFlags(t *testing.T) {
 func TestMspctoolMissingFile(t *testing.T) {
 	if err := run([]string{"-cal", "/nonexistent.csv", "-ctrl", "/nonexistent.csv"}); err == nil {
 		t.Error("missing file accepted")
+	}
+}
+
+// TestWatchAdaptiveFlagValidation: the watch subcommand shares the adapt
+// flag validation with fleet.
+func TestWatchAdaptiveFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 1, 600, -1, -1, 0)
+	for _, args := range [][]string{
+		{"-cal", cal, "-adapt-every", "-1"},
+		{"-cal", cal, "-adapt-forget", "0.9"},
+		{"-cal", cal, "-adapt-every", "50", "-adapt-forget", "2"},
+	} {
+		var out bytes.Buffer
+		if err := runWatch(args, strings.NewReader(""), &out); !errors.Is(err, pcsmon.ErrBadConfig) {
+			t.Errorf("%v: want ErrBadConfig, got %v", args, err)
+		}
+	}
+}
+
+// TestWatchSubcommandAdaptive: watch with adaptation enabled still scores a
+// NOC stream quiet end to end.
+func TestWatchSubcommandAdaptive(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	live := filepath.Join(dir, "live.csv")
+	writeSynthetic(t, cal, 1, 600, -1, -1, 0)
+	writeSynthetic(t, live, 1, 200, -1, -1, 0)
+	data, err := os.ReadFile(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err = runWatch([]string{
+		"-cal", cal, "-sample", "9",
+		"-adapt-every", "64", "-adapt-forget", "0.999",
+	}, bytes.NewReader(data), &out)
+	if err != nil {
+		t.Fatalf("runWatch: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "normal") {
+		t.Errorf("NOC watch not normal:\n%s", out.String())
 	}
 }

@@ -48,6 +48,11 @@ type FleetOptions struct {
 	EmitEvery int
 	// Sample is the observation interval used in reports.
 	Sample time.Duration
+	// Adaptive enables fleet-wide adaptive recalibration: one shared model
+	// tracker learns from every stream's in-control observations, and each
+	// stream migrates to accepted model generations at its own
+	// diagnosis-window boundaries (surfaced as ModelSwapped events).
+	Adaptive AdaptiveOptions
 }
 
 // Fleet scores many concurrent plant streams against one calibrated
@@ -70,6 +75,7 @@ func NewFleet(sys *System, opts FleetOptions) (*Fleet, error) {
 		EventBuffer: opts.EventBuffer,
 		EmitEvery:   opts.EmitEvery,
 		Sample:      opts.Sample,
+		Adapt:       opts.Adaptive,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("pcsmon: %w", err)
@@ -95,6 +101,16 @@ func (f *Fleet) convert() {
 			f.events <- FleetEvent{
 				Plant: e.Plant,
 				Event: alarmEvent(e.View, e.Detection.Index, e.Detection.RunStart, e.Detection.Charts),
+			}
+		case fleet.ModelSwapped:
+			f.events <- FleetEvent{
+				Plant: e.Plant,
+				Event: ModelSwapped{
+					Index:      e.Swap.At,
+					Generation: e.Swap.Generation,
+					D99:        e.Swap.D99,
+					Q99:        e.Swap.Q99,
+				},
 			}
 		case fleet.Verdict:
 			// Failed streams surface their error via Detach; the event

@@ -130,6 +130,12 @@ func (c Config) withDefaults() Config {
 type System struct {
 	cfg     Config
 	monitor *mspc.Monitor
+
+	// Calibration moments (engineering units), retained so the adaptive
+	// recalibration layer can seed its tracker with the calibration prior.
+	calCov   *mat.Matrix
+	calMeans []float64
+	calN     int
 }
 
 // Calibrate builds the MSPC model from normal-operation observations
@@ -159,7 +165,14 @@ func Calibrate(noc *dataset.Dataset, cfg Config) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &System{cfg: cfg, monitor: mon}, nil
+	cov, err := mat.Covariance(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &System{
+		cfg: cfg, monitor: mon,
+		calCov: cov, calMeans: mat.ColMeans(x), calN: x.Rows(),
+	}, nil
 }
 
 // CalibrateCov builds the system from streamed covariance statistics
@@ -178,11 +191,22 @@ func CalibrateCov(cov *mat.Matrix, means []float64, n int, cfg Config) (*System,
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return &System{cfg: cfg, monitor: mon}, nil
+	return &System{
+		cfg: cfg, monitor: mon,
+		calCov: cov.Clone(), calMeans: append([]float64(nil), means...), calN: n,
+	}, nil
 }
 
 // Monitor exposes the underlying MSPC monitor (for charting).
 func (s *System) Monitor() *mspc.Monitor { return s.monitor }
+
+// CalibrationMoments returns the covariance, means and observation count
+// the system was calibrated from — the prior the adaptive recalibration
+// layer seeds its tracker with. The returned values are owned by the
+// system; callers must not mutate them.
+func (s *System) CalibrationMoments() (cov *mat.Matrix, means []float64, n int) {
+	return s.calCov, s.calMeans, s.calN
+}
 
 // Config returns the effective configuration.
 func (s *System) Config() Config { return s.cfg }

@@ -40,6 +40,11 @@ type OnlineAnalyzer struct {
 // StepResult reports what one Push observed. The per-view points are nil
 // when that view had no sample; the alarm fields are non-nil only on the
 // exact step where that view's run rule latched a post-onset detection.
+//
+// The Ctrl/Proc points reference per-analyzer scratch that is overwritten
+// by the next Push (like the historian tap's rows) — consumers that hand a
+// StepResult to another goroutine or retain it across pushes must copy the
+// pointed-to values. The alarm detections are stable.
 type StepResult struct {
 	Index int
 	Ctrl  *mspc.Point
@@ -140,6 +145,47 @@ func (a *OnlineAnalyzer) Push(ctrlRow, procRow []float64) (StepResult, error) {
 // N returns the number of observations pushed.
 func (a *OnlineAnalyzer) N() int { return a.n }
 
+// TrySwap atomically migrates the analyzer to a freshly calibrated system —
+// the stream half of the adaptive recalibration swap protocol. The swap is
+// applied only when the stream is quiescent: no alarm latched in either
+// view, no out-of-control run open, and the paired evidence window not yet
+// started — so no detection, diagnosis window or evidence accumulator ever
+// mixes two models. Detector state (stream position, pre-onset handling,
+// trailing rings) carries over unchanged; a swap to a bit-identical model is
+// a no-op on all results.
+//
+// It returns (false, nil) when the stream is not quiescent — callers retry
+// at a later window boundary — and an error only for incompatible systems
+// (different dimension, run length or diagnosis window) or a finished
+// stream.
+func (a *OnlineAnalyzer) TrySwap(sys *System) (bool, error) {
+	if sys == nil || sys.monitor == nil {
+		return false, ErrNotCalibrated
+	}
+	if a.report != nil {
+		return false, fmt.Errorf("core: swap after Finish: %w", ErrBadInput)
+	}
+	if dim := sys.monitor.Scaler().Dim(); dim != a.cols {
+		return false, fmt.Errorf("core: swap system has %d vars, want %d: %w", dim, a.cols, ErrBadInput)
+	}
+	if sys.cfg.RunLength != a.sys.cfg.RunLength || sys.cfg.DiagnoseWindow != a.sys.cfg.DiagnoseWindow {
+		return false, fmt.Errorf("core: swap system run-rule/window config differs: %w", ErrBadInput)
+	}
+	if a.firstAlarm >= 0 || a.win != nil ||
+		a.ctrl.detection != nil || a.proc.detection != nil ||
+		a.ctrl.det.InRun() || a.proc.det.InRun() {
+		return false, nil
+	}
+	if err := a.ctrl.det.SwapMonitor(sys.monitor); err != nil {
+		return false, fmt.Errorf("core: %w", err)
+	}
+	if err := a.proc.det.SwapMonitor(sys.monitor); err != nil {
+		return false, fmt.Errorf("core: %w", err)
+	}
+	a.sys = sys
+	return true, nil
+}
+
 // Detected reports whether either view has latched a post-onset alarm.
 func (a *OnlineAnalyzer) Detected() bool { return a.firstAlarm >= 0 }
 
@@ -209,6 +255,7 @@ type viewState struct {
 	ring      [][]float64 // n % RunLength keyed trailing rows (reused buffers)
 	diag      [][]float64 // rows [RunStart, RunStart+DiagnoseWindow)
 	detection *mspc.Detection
+	pt        mspc.Point // scratch for the returned step point (reused)
 }
 
 func (v *viewState) push(row []float64, onset, diagW int) (*mspc.Point, *mspc.Detection, error) {
@@ -249,7 +296,8 @@ func (v *viewState) push(row []float64, onset, diagW int) (*mspc.Point, *mspc.De
 	case v.detection != nil && len(v.diag) < diagW:
 		v.diag = append(v.diag, append([]float64(nil), row...))
 	}
-	return &pt, alarm, nil
+	v.pt = pt
+	return &v.pt, alarm, nil
 }
 
 // rowAt returns the buffered row at stream index t, or nil when t has

@@ -11,6 +11,10 @@
 //
 //   - A stream's analyzer is confined to its worker goroutine; no lock is
 //     ever taken around scoring.
+//   - The stream registry is sharded like the scoring: each worker owns the
+//     registry shard of its plants under its own mutex, so attach/push/
+//     detach of different shards never contend — there is no pool-global
+//     lock on the data path.
 //   - All messages for one plant flow through one FIFO mailbox, so a
 //     plant's observations are scored in the exact order they were pushed
 //     and its events are emitted in that order. Events of different plants
@@ -19,11 +23,20 @@
 //     workers block, mailboxes fill, and Push blocks — back-pressure
 //     propagates to the producers instead of losing or reordering events.
 //   - Push copies its rows into pooled scratch buffers before handing them
-//     to the worker; callers may reuse their row slices immediately.
+//     to the worker; callers may reuse their row slices immediately. The
+//     steady-state scoring path performs no per-observation allocation.
 //
 // A plant scored through a Pool produces a report bit-identical to the same
 // rows replayed through a lone core.OnlineAnalyzer (the golden parity the
 // package tests enforce): sharding changes scheduling, never results.
+//
+// With Config.Adapt enabled the pool additionally runs the adaptive
+// recalibration layer: one shared adapt.Tracker learns from in-control
+// observations across every stream, refits candidate models on the
+// configured cadence, and each stream migrates to accepted generations at
+// its own diagnosis-window boundaries (ModelSwapped events record every
+// migration). Adaptation is fleet-wide state — enabling it trades the
+// bit-reproducibility of the frozen model for drift tracking.
 package fleet
 
 import (
@@ -35,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"pcsmon/internal/adapt"
 	"pcsmon/internal/core"
 	"pcsmon/internal/mspc"
 )
@@ -52,7 +66,7 @@ var (
 )
 
 // Event is a typed fan-in event from one plant's stream. The concrete
-// types are Scored, Alarm and Verdict.
+// types are Scored, Alarm, ModelSwapped and Verdict.
 type Event interface {
 	// PlantID identifies the stream the event belongs to.
 	PlantID() string
@@ -60,7 +74,8 @@ type Event interface {
 }
 
 // Scored reports one scored observation of one plant — the fleet analogue
-// of the facade's SampleScored.
+// of the facade's SampleScored. The step's point values are copies, safe to
+// retain.
 type Scored struct {
 	Plant string
 	Step  core.StepResult
@@ -74,6 +89,13 @@ type Alarm struct {
 	Detection mspc.Detection
 }
 
+// ModelSwapped reports that one plant's stream migrated to a new model
+// generation at a diagnosis-window boundary (adaptive pools only).
+type ModelSwapped struct {
+	Plant string
+	Swap  adapt.Swap
+}
+
 // Verdict carries a detached stream's final classified report. Err is
 // non-nil when the stream failed (e.g. detached before any observation).
 type Verdict struct {
@@ -84,13 +106,15 @@ type Verdict struct {
 }
 
 // PlantID implements Event.
-func (e Scored) PlantID() string  { return e.Plant }
-func (e Alarm) PlantID() string   { return e.Plant }
-func (e Verdict) PlantID() string { return e.Plant }
+func (e Scored) PlantID() string       { return e.Plant }
+func (e Alarm) PlantID() string        { return e.Plant }
+func (e ModelSwapped) PlantID() string { return e.Plant }
+func (e Verdict) PlantID() string      { return e.Plant }
 
-func (Scored) fleetEvent()  {}
-func (Alarm) fleetEvent()   {}
-func (Verdict) fleetEvent() {}
+func (Scored) fleetEvent()       {}
+func (Alarm) fleetEvent()        {}
+func (ModelSwapped) fleetEvent() {}
+func (Verdict) fleetEvent()      {}
 
 // Config parameterizes a Pool. The zero value selects GOMAXPROCS workers,
 // a 64-message mailbox per worker and a 256-event emitter buffer.
@@ -110,9 +134,12 @@ type Config struct {
 	// Sample is the observation interval reported in the final reports.
 	Sample time.Duration
 	// EmitEvery thins Scored events to one in N observations per plant
-	// (0 or 1 = every observation, negative = none). Alarm and Verdict
-	// events are always emitted.
+	// (0 or 1 = every observation, negative = none). Alarm, ModelSwapped
+	// and Verdict events are always emitted.
 	EmitEvery int
+	// Adapt enables the fleet-wide adaptive recalibration layer (zero =
+	// frozen model, the bit-reproducible default).
+	Adapt adapt.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -139,6 +166,9 @@ func (c Config) validate() error {
 	case c.Sample < 0:
 		return fmt.Errorf("fleet: sample %v: %w", c.Sample, ErrBadConfig)
 	}
+	if err := c.Adapt.Validate(); err != nil {
+		return fmt.Errorf("fleet: %w", err)
+	}
 	return nil
 }
 
@@ -154,19 +184,25 @@ type Stats struct {
 	Alarms uint64
 	// Verdicts counts completed (detached) streams.
 	Verdicts uint64
+	// ModelSwaps counts per-stream model migrations (adaptive pools only).
+	ModelSwaps uint64
+	// ModelGeneration is the current adaptive model generation (0 when
+	// adaptation is disabled or no candidate has been accepted yet).
+	ModelGeneration uint64
 	// ObsPerSec is Observations divided by the wall-clock time since the
 	// pool was created.
 	ObsPerSec float64
 }
 
-// stream is the per-plant state. The analyzer, samples counter, report and
-// err fields are owned by the stream's worker goroutine; the done channel
-// hands the final state back to Detach.
+// stream is the per-plant state. The analyzer, samples counter, generation,
+// report and err fields are owned by the stream's worker goroutine; the
+// done channel hands the final state back to Detach.
 type stream struct {
 	id string
 	w  *worker
 
 	oa       *core.OnlineAnalyzer
+	gen      uint64 // model generation the analyzer is scored against
 	samples  int
 	finished bool
 
@@ -175,12 +211,12 @@ type stream struct {
 	done   chan struct{} // closed by the worker after the Verdict event
 }
 
-// message is one mailbox entry: an observation (rows owned by the pool's
-// scratch free-list; nil marks that view's stream as ended) or, when
-// finish is set, the detach request.
+// message is one mailbox entry: an observation (row boxes owned by the
+// pool's scratch free-list; a nil box marks that view's stream as ended)
+// or, when finish is set, the detach request.
 type message struct {
 	st         *stream
-	ctrl, proc []float64
+	ctrl, proc *[]float64
 	finish     bool
 }
 
@@ -190,33 +226,41 @@ type Pool struct {
 	sys     *core.System
 	cfg     Config
 	cols    int
+	window  int            // diagnosis window = swap boundary cadence
+	tracker *adapt.Tracker // nil when adaptation is disabled
 	events  chan Event
 	workers []*worker
 	started time.Time
 	wg      sync.WaitGroup
 
-	// mu guards the stream registry and the closed flag. sendMu guards the
-	// worker mailboxes' lifetime: sends hold the read side and re-check
+	// closed gates Close's one-shot shutdown. sendMu guards the worker
+	// mailboxes' lifetime: sends hold the read side and re-check
 	// mailboxesClosed, Close sets the flag and closes the channels under
 	// the write side — so a Push or Detach racing Close can never send on
 	// a closed channel.
-	mu              sync.Mutex
+	closed          atomic.Bool
 	sendMu          sync.RWMutex
 	mailboxesClosed bool
-	streams         map[string]*stream
-	closed          bool
 
-	scratch sync.Pool // *[]float64 of cols length
+	scratch sync.Pool // *[]float64 row boxes of cols length
 
 	attached     atomic.Uint64
 	observations atomic.Uint64
 	alarms       atomic.Uint64
 	verdicts     atomic.Uint64
+	modelSwaps   atomic.Uint64
 }
 
+// worker owns one shard: its mailbox, its streams' analyzers, and the
+// registry shard those streams live in (mu guards only the map and the
+// shard's closed flag — never scoring).
 type worker struct {
 	pool *Pool
 	in   chan message
+
+	mu      sync.Mutex
+	streams map[string]*stream
+	closed  bool
 }
 
 // NewPool builds the worker set and event channel over one calibrated
@@ -238,14 +282,28 @@ func NewPool(sys *core.System, cfg Config) (*Pool, error) {
 	p := &Pool{
 		sys:     sys,
 		cfg:     cfg,
-		cols:    len(sys.Monitor().Scaler().Means()),
+		cols:    sys.Monitor().Scaler().Dim(),
+		window:  sys.Config().DiagnoseWindow,
 		events:  make(chan Event, cfg.EventBuffer),
-		streams: make(map[string]*stream),
 		started: time.Now(),
+	}
+	if p.window < 1 {
+		p.window = 1
+	}
+	if cfg.Adapt.Enabled {
+		tracker, err := adapt.NewTracker(sys, cfg.Adapt)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: %w", err)
+		}
+		p.tracker = tracker
 	}
 	p.workers = make([]*worker, cfg.Workers)
 	for i := range p.workers {
-		w := &worker{pool: p, in: make(chan message, cfg.Mailbox)}
+		w := &worker{
+			pool:    p,
+			in:      make(chan message, cfg.Mailbox),
+			streams: make(map[string]*stream),
+		}
 		p.workers[i] = w
 		p.wg.Add(1)
 		go w.run()
@@ -266,25 +324,31 @@ func (p *Pool) shard(id string) *worker {
 
 // Attach registers a new plant stream. onset is the observation index at
 // which an anomaly is known to begin (0 if unknown), with the same
-// semantics as core.System.NewOnlineAnalyzer.
+// semantics as core.System.NewOnlineAnalyzer. An adaptive pool attaches the
+// stream to the current model generation.
 func (p *Pool) Attach(id string, onset int) error {
 	if id == "" {
 		return fmt.Errorf("fleet: empty plant id: %w", ErrBadConfig)
 	}
-	oa, err := p.sys.NewOnlineAnalyzer(onset, p.cfg.Sample)
+	sys, gen := p.sys, uint64(0)
+	if p.tracker != nil {
+		sys, gen = p.tracker.System()
+	}
+	oa, err := sys.NewOnlineAnalyzer(onset, p.cfg.Sample)
 	if err != nil {
 		return fmt.Errorf("fleet: %w", err)
 	}
-	st := &stream{id: id, w: p.shard(id), oa: oa, done: make(chan struct{})}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed {
+	w := p.shard(id)
+	st := &stream{id: id, w: w, oa: oa, gen: gen, done: make(chan struct{})}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
 		return ErrClosed
 	}
-	if _, ok := p.streams[id]; ok {
+	if _, ok := w.streams[id]; ok {
 		return fmt.Errorf("fleet: %q: %w", id, ErrDuplicatePlant)
 	}
-	p.streams[id] = st
+	w.streams[id] = st
 	p.attached.Add(1)
 	return nil
 }
@@ -305,10 +369,11 @@ func (p *Pool) Push(id string, ctrl, proc []float64) error {
 	if proc != nil && len(proc) != p.cols {
 		return fmt.Errorf("fleet: process row has %d vars, want %d: %w", len(proc), p.cols, core.ErrBadInput)
 	}
-	p.mu.Lock()
-	st, ok := p.streams[id]
-	closed := p.closed
-	p.mu.Unlock()
+	w := p.shard(id)
+	w.mu.Lock()
+	st, ok := w.streams[id]
+	closed := w.closed
+	w.mu.Unlock()
 	if closed {
 		return ErrClosed
 	}
@@ -318,13 +383,13 @@ func (p *Pool) Push(id string, ctrl, proc []float64) error {
 	msg := message{st: st}
 	if ctrl != nil {
 		msg.ctrl = p.getRow()
-		copy(msg.ctrl, ctrl)
+		copy(*msg.ctrl, ctrl)
 	}
 	if proc != nil {
 		msg.proc = p.getRow()
-		copy(msg.proc, proc)
+		copy(*msg.proc, proc)
 	}
-	if !p.trySend(st.w, msg) {
+	if !p.trySend(w, msg) {
 		p.putRow(msg.ctrl)
 		p.putRow(msg.proc)
 		return ErrClosed
@@ -349,16 +414,17 @@ func (p *Pool) trySend(w *worker, msg message) bool {
 // diagnosis runs, a Verdict event is emitted and the classified report is
 // returned. Detach blocks until the verdict is out.
 func (p *Pool) Detach(id string) (*core.Report, error) {
-	p.mu.Lock()
-	st, ok := p.streams[id]
+	w := p.shard(id)
+	w.mu.Lock()
+	st, ok := w.streams[id]
 	if ok {
-		delete(p.streams, id)
+		delete(w.streams, id)
 	}
-	p.mu.Unlock()
+	w.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("fleet: %q: %w", id, ErrUnknownPlant)
 	}
-	if p.trySend(st.w, message{st: st, finish: true}) {
+	if p.trySend(w, message{st: st, finish: true}) {
 		<-st.done
 		return st.report, st.err
 	}
@@ -378,18 +444,19 @@ func (p *Pool) Detach(id string) (*core.Report, error) {
 // draining Events() while Close runs. Close is idempotent; operations
 // after it return ErrClosed.
 func (p *Pool) Close() error {
-	p.mu.Lock()
-	if p.closed {
-		p.mu.Unlock()
+	if !p.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	p.closed = true
-	rest := make([]*stream, 0, len(p.streams))
-	for id, st := range p.streams {
-		rest = append(rest, st)
-		delete(p.streams, id)
+	var rest []*stream
+	for _, w := range p.workers {
+		w.mu.Lock()
+		w.closed = true
+		for id, st := range w.streams {
+			rest = append(rest, st)
+			delete(w.streams, id)
+		}
+		w.mu.Unlock()
 	}
-	p.mu.Unlock()
 	for _, st := range rest {
 		// Close owns these streams (they were removed from the registry
 		// above) and the mailboxes are still open: the send cannot fail.
@@ -398,7 +465,7 @@ func (p *Pool) Close() error {
 	for _, st := range rest {
 		<-st.done
 	}
-	// Exclude in-flight sends (a Push that read closed=false just before
+	// Exclude in-flight sends (a Push that read the shard open just before
 	// we flipped it), then shut the mailboxes down; later senders see
 	// mailboxesClosed and back off.
 	p.sendMu.Lock()
@@ -414,43 +481,64 @@ func (p *Pool) Close() error {
 
 // Stats snapshots the aggregate counters.
 func (p *Pool) Stats() Stats {
-	p.mu.Lock()
-	active := len(p.streams)
-	p.mu.Unlock()
+	active := 0
+	for _, w := range p.workers {
+		w.mu.Lock()
+		active += len(w.streams)
+		w.mu.Unlock()
+	}
 	obs := p.observations.Load()
 	elapsed := time.Since(p.started).Seconds()
 	var rate float64
 	if elapsed > 0 {
 		rate = float64(obs) / elapsed
 	}
-	return Stats{
+	st := Stats{
 		Active:       active,
 		Attached:     p.attached.Load(),
 		Observations: obs,
 		Alarms:       p.alarms.Load(),
 		Verdicts:     p.verdicts.Load(),
+		ModelSwaps:   p.modelSwaps.Load(),
 		ObsPerSec:    rate,
 	}
-}
-
-// getRow takes a cols-sized scratch row from the free-list.
-func (p *Pool) getRow() []float64 {
-	if v := p.scratch.Get(); v != nil {
-		return *(v.(*[]float64))
+	if p.tracker != nil {
+		st.ModelGeneration = p.tracker.Generation()
 	}
-	return make([]float64, p.cols)
+	return st
 }
 
-// putRow returns a scratch row to the free-list.
-func (p *Pool) putRow(row []float64) {
-	if row == nil {
+// AdaptStats snapshots the shared tracker's drift-guard counters (zero
+// value when adaptation is disabled).
+func (p *Pool) AdaptStats() adapt.Stats {
+	if p.tracker == nil {
+		return adapt.Stats{}
+	}
+	return p.tracker.Stats()
+}
+
+// getRow takes a cols-sized row box from the free-list. Boxes travel
+// through the mailboxes by pointer, so the steady-state path re-boxes
+// nothing.
+func (p *Pool) getRow() *[]float64 {
+	if v := p.scratch.Get(); v != nil {
+		return v.(*[]float64)
+	}
+	row := make([]float64, p.cols)
+	return &row
+}
+
+// putRow returns a row box to the free-list.
+func (p *Pool) putRow(b *[]float64) {
+	if b == nil {
 		return
 	}
-	p.scratch.Put(&row)
+	p.scratch.Put(b)
 }
 
-// run is the worker loop: score observations in mailbox order, emit
-// events, finalize on detach. It exits when the mailbox is closed.
+// run is the worker loop: score observations in mailbox order, learn and
+// swap when the pool is adaptive, emit events, finalize on detach. It exits
+// when the mailbox is closed.
 func (w *worker) run() {
 	defer w.pool.wg.Done()
 	p := w.pool
@@ -466,29 +554,64 @@ func (w *worker) run() {
 			p.putRow(msg.proc)
 			continue
 		}
-		res, err := st.oa.Push(msg.ctrl, msg.proc)
-		p.putRow(msg.ctrl)
-		p.putRow(msg.proc)
+		var cr, pr []float64
+		if msg.ctrl != nil {
+			cr = *msg.ctrl
+		}
+		if msg.proc != nil {
+			pr = *msg.proc
+		}
+		res, err := st.oa.Push(cr, pr)
 		if err != nil {
 			// Row-shape errors are caught in Push; anything here poisons
 			// the stream and surfaces in the Verdict.
 			st.finished = true
 			st.err = fmt.Errorf("fleet: %q: %w", st.id, err)
+			p.putRow(msg.ctrl)
+			p.putRow(msg.proc)
 			continue
 		}
 		st.samples++
 		p.observations.Add(1)
+		if p.tracker != nil {
+			w.adaptStep(st, res, cr, pr)
+		}
+		p.putRow(msg.ctrl)
+		p.putRow(msg.proc)
 		w.emitStep(st, res)
 	}
 }
 
+// adaptStep drives this stream through the shared tracker's per-observation
+// protocol (learn guard, due refit, boundary migration) and emits the swap
+// event when one lands.
+func (w *worker) adaptStep(st *stream, res core.StepResult, cr, pr []float64) {
+	p := w.pool
+	var swap *adapt.Swap
+	st.gen, swap = p.tracker.Step(st.oa, res, cr, pr, p.window, st.gen)
+	if swap != nil {
+		p.modelSwaps.Add(1)
+		p.events <- ModelSwapped{Plant: st.id, Swap: *swap}
+	}
+}
+
 // emitStep converts one StepResult into fan-in events, honouring the
-// Scored thinning.
+// Scored thinning. The step's analyzer-scratch points are copied before
+// they cross the channel.
 func (w *worker) emitStep(st *stream, res core.StepResult) {
 	p := w.pool
 	every := p.cfg.EmitEvery
 	if every >= 0 && (every <= 1 || res.Index%every == 0) {
-		p.events <- Scored{Plant: st.id, Step: res}
+		step := res
+		if res.Ctrl != nil {
+			c := *res.Ctrl
+			step.Ctrl = &c
+		}
+		if res.Proc != nil {
+			c := *res.Proc
+			step.Proc = &c
+		}
+		p.events <- Scored{Plant: st.id, Step: step}
 	}
 	if res.CtrlAlarm != nil {
 		p.alarms.Add(1)

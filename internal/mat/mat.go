@@ -652,6 +652,113 @@ func (c *CovAccumulator) Covariance() (*Matrix, error) {
 	return out, nil
 }
 
+// EWMACovAccumulator is the exponentially-forgetting form of
+// CovAccumulator: each Add discounts the accumulated statistics by a forget
+// factor λ ∈ (0,1] before folding the new row in, so the estimated mean and
+// covariance track a slowly moving process instead of averaging over its
+// whole history. λ=1 recovers the plain accumulator (infinite memory); the
+// effective memory of λ<1 is ~1/(1−λ) observations.
+//
+// This is the statistics engine of the adaptive recalibration layer: it
+// streams in-control observations with O(M²) memory and yields the weighted
+// covariance/means/effective-sample-size triple that CalibrateCov needs.
+//
+// The zero value is not usable; call NewEWMACovAccumulator. The accumulator
+// is not safe for concurrent use.
+type EWMACovAccumulator struct {
+	lambda float64
+	cols   int
+	w, w2  float64 // sum of weights and of squared weights
+	sum    []float64
+	cross  []float64 // upper triangle used, full M×M row-major
+}
+
+// NewEWMACovAccumulator returns an accumulator for rows of width cols with
+// forget factor lambda ∈ (0, 1].
+func NewEWMACovAccumulator(cols int, lambda float64) (*EWMACovAccumulator, error) {
+	if cols <= 0 {
+		return nil, fmt.Errorf("mat: accumulator cols %d: %w", cols, ErrDimMismatch)
+	}
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("mat: forget factor %g not in (0,1]: %w", lambda, ErrDimMismatch)
+	}
+	return &EWMACovAccumulator{
+		lambda: lambda,
+		cols:   cols,
+		sum:    make([]float64, cols),
+		cross:  make([]float64, cols*cols),
+	}, nil
+}
+
+// Add discounts the accumulated statistics by λ and folds one observation
+// row in with unit weight.
+func (c *EWMACovAccumulator) Add(row []float64) error {
+	if len(row) != c.cols {
+		return fmt.Errorf("mat: accumulator row len %d != %d: %w", len(row), c.cols, ErrDimMismatch)
+	}
+	l := c.lambda
+	c.w = l*c.w + 1
+	c.w2 = l*l*c.w2 + 1
+	for p, vp := range row {
+		c.sum[p] = l*c.sum[p] + vp
+		crow := c.cross[p*c.cols : (p+1)*c.cols]
+		for q := p; q < c.cols; q++ {
+			crow[q] = l*crow[q] + vp*row[q]
+		}
+	}
+	return nil
+}
+
+// Weight returns the current sum of weights — the EWMA analogue of the
+// observation count, saturating at 1/(1−λ).
+func (c *EWMACovAccumulator) Weight() float64 { return c.w }
+
+// ESS returns the effective sample size (Σw)²/Σw², the number of equally
+// weighted observations carrying the same statistical information. For λ=1
+// this is exactly the observation count; for λ<1 it saturates near
+// 2/(1−λ).
+func (c *EWMACovAccumulator) ESS() float64 {
+	if c.w2 == 0 {
+		return 0
+	}
+	return c.w * c.w / c.w2
+}
+
+// Means returns the weighted column means.
+func (c *EWMACovAccumulator) Means() []float64 {
+	out := make([]float64, c.cols)
+	if c.w == 0 {
+		return out
+	}
+	inv := 1 / c.w
+	for j, s := range c.sum {
+		out[j] = s * inv
+	}
+	return out
+}
+
+// Covariance finalizes the weighted sample covariance with the unbiased
+// reliability-weights divisor (for λ=1 this reduces exactly to the N−1
+// divisor of CovAccumulator). It requires an effective sample size above 1.
+func (c *EWMACovAccumulator) Covariance() (*Matrix, error) {
+	den := c.w*c.w - c.w2
+	if den <= 1e-12 {
+		return nil, fmt.Errorf("mat: EWMA accumulator needs effective sample size > 1: %w", ErrEmpty)
+	}
+	corr := c.w * c.w / den // bias correction: Σw² / (Σw² − Σw²ᵢ)
+	means := c.Means()
+	out := MustNew(c.cols, c.cols)
+	invW := 1 / c.w
+	for p := 0; p < c.cols; p++ {
+		for q := p; q < c.cols; q++ {
+			v := (c.cross[p*c.cols+q]*invW - means[p]*means[q]) * corr
+			out.data[p*c.cols+q] = v
+			out.data[q*c.cols+p] = v
+		}
+	}
+	return out, nil
+}
+
 // String renders a compact, aligned preview of the matrix (all of it when
 // small, truncated when large) for debugging.
 func (m *Matrix) String() string {

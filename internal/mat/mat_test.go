@@ -587,3 +587,122 @@ func TestIdentityAndIsEmpty(t *testing.T) {
 		t.Error("zero Matrix should be empty")
 	}
 }
+
+// TestEWMACovAccumulatorLambdaOneMatchesPlain: with forget factor 1 the
+// EWMA accumulator must reproduce the plain accumulator (and hence the
+// batch covariance) exactly — the identity the adaptive layer's
+// "adaptation disabled" parity rests on.
+func TestEWMACovAccumulatorLambdaOneMatchesPlain(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, m = 120, 5
+	plain, err := NewCovAccumulator(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ewma, err := NewEWMACovAccumulator(m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = 10*rng.NormFloat64() + float64(j)
+		}
+		if err := plain.Add(row); err != nil {
+			t.Fatal(err)
+		}
+		if err := ewma.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := ewma.ESS(), float64(n); math.Abs(got-want) > 1e-9 {
+		t.Errorf("ESS %g, want %g", got, want)
+	}
+	pm, em := plain.Means(), ewma.Means()
+	for j := range pm {
+		if math.Abs(pm[j]-em[j]) > 1e-9 {
+			t.Errorf("mean[%d] %g vs %g", j, em[j], pm[j])
+		}
+	}
+	pc, err := plain.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec, err := ewma.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < m; p++ {
+		for q := 0; q < m; q++ {
+			if d := math.Abs(pc.At(p, q) - ec.At(p, q)); d > 1e-8 {
+				t.Errorf("cov(%d,%d) differs by %g", p, q, d)
+			}
+		}
+	}
+}
+
+// TestEWMACovAccumulatorTracksShift: with forgetting enabled the estimated
+// mean must track a level shift, converging to the new level — the property
+// that lets the adaptive layer follow slow plant aging.
+func TestEWMACovAccumulatorTracksShift(t *testing.T) {
+	acc, err := NewEWMACovAccumulator(2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	row := make([]float64, 2)
+	for i := 0; i < 200; i++ {
+		row[0] = 5 + 0.1*rng.NormFloat64()
+		row[1] = -3 + 0.1*rng.NormFloat64()
+		if err := acc.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		row[0] = 9 + 0.1*rng.NormFloat64()
+		row[1] = 1 + 0.1*rng.NormFloat64()
+		if err := acc.Add(row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := acc.Means()
+	if math.Abs(m[0]-9) > 0.2 || math.Abs(m[1]-1) > 0.2 {
+		t.Errorf("means %v did not track the shift to (9, 1)", m)
+	}
+	// Effective memory ~1/(1-λ): the old level must be essentially gone.
+	if ess := acc.ESS(); ess < 10 || ess > 50 {
+		t.Errorf("ESS %g outside the expected band for λ=0.95", ess)
+	}
+	if _, err := acc.Covariance(); err != nil {
+		t.Errorf("covariance after tracking: %v", err)
+	}
+}
+
+// TestEWMACovAccumulatorValidation covers constructor and degenerate-state
+// errors.
+func TestEWMACovAccumulatorValidation(t *testing.T) {
+	if _, err := NewEWMACovAccumulator(0, 0.9); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("cols=0: %v", err)
+	}
+	for _, l := range []float64{0, -0.5, 1.5} {
+		if _, err := NewEWMACovAccumulator(3, l); !errors.Is(err, ErrDimMismatch) {
+			t.Errorf("lambda=%g: %v", l, err)
+		}
+	}
+	acc, err := NewEWMACovAccumulator(3, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := acc.Add([]float64{1, 2}); !errors.Is(err, ErrDimMismatch) {
+		t.Errorf("short row: %v", err)
+	}
+	if _, err := acc.Covariance(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("empty covariance: %v", err)
+	}
+	if err := acc.Add([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acc.Covariance(); !errors.Is(err, ErrEmpty) {
+		t.Errorf("single-row covariance: %v", err)
+	}
+}

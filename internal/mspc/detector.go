@@ -71,6 +71,10 @@ type Detector struct {
 	detected *Detection
 	points   []Point
 	keep     bool
+
+	// Per-stream compute scratch (preprocessed row + PCA scores), so the
+	// hot scoring path allocates nothing per observation.
+	scaled, scores []float64
 }
 
 // DefaultRunLength is the paper's run rule: three consecutive observations
@@ -87,14 +91,44 @@ func NewDetector(m *Monitor, k int, keepPoints bool) (*Detector, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("mspc: run length %d: %w", k, ErrBadConfig)
 	}
-	return &Detector{monitor: m, k: k, keep: keepPoints}, nil
+	return &Detector{
+		monitor: m,
+		k:       k,
+		keep:    keepPoints,
+		scaled:  make([]float64, m.scaler.Dim()),
+		scores:  make([]float64, m.model.NComponents()),
+	}, nil
 }
+
+// SwapMonitor rebinds the detector to a freshly calibrated monitor, carrying
+// the run-rule state (stream position, open run, latched detection) across —
+// the detector half of the adaptive model-swap protocol. The new monitor
+// must score observations of the same dimension.
+func (d *Detector) SwapMonitor(m *Monitor) error {
+	if m == nil {
+		return fmt.Errorf("mspc: nil monitor: %w", ErrBadInput)
+	}
+	if m.scaler.Dim() != d.monitor.scaler.Dim() {
+		return fmt.Errorf("mspc: swap monitor dim %d != %d: %w",
+			m.scaler.Dim(), d.monitor.scaler.Dim(), ErrBadInput)
+	}
+	d.monitor = m
+	if a := m.model.NComponents(); a != len(d.scores) {
+		d.scores = make([]float64, a)
+	}
+	return nil
+}
+
+// InRun reports whether the detector is inside an open out-of-control run —
+// the quiescence check a model swap must respect so one run is never judged
+// against two different limit sets.
+func (d *Detector) InRun() bool { return d.runLen > 0 }
 
 // Step feeds one observation (engineering units) to the detector and
 // returns the evaluated point plus the detection, non-nil from the moment
 // the run rule first fires (the first detection is latched).
 func (d *Detector) Step(row []float64) (Point, *Detection, error) {
-	stats, err := d.monitor.Compute(row)
+	stats, err := d.monitor.ComputeInto(row, d.scaled, d.scores)
 	if err != nil {
 		return Point{}, nil, err
 	}

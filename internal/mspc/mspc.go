@@ -292,12 +292,33 @@ func (m *Monitor) Compute(row []float64) (Statistics, error) {
 	return m.computeScaled(scaled)
 }
 
+// ComputeInto is Compute with caller-provided scratch: scaled (scaler
+// dimension) receives the preprocessed row, scores (NComponents) the PCA
+// projection. Neither allocation-free call changes the result — this is the
+// hot-path variant the per-stream detectors use.
+func (m *Monitor) ComputeInto(row, scaled, scores []float64) (Statistics, error) {
+	scaled, err := m.scaler.ApplyRow(row, scaled)
+	if err != nil {
+		return Statistics{}, fmt.Errorf("mspc: %w", err)
+	}
+	if err := m.model.ProjectInto(scaled, scores); err != nil {
+		return Statistics{}, fmt.Errorf("mspc: %w", err)
+	}
+	return m.statsFrom(scaled, scores), nil
+}
+
 // computeScaled computes D and Q for an already-preprocessed observation.
 func (m *Monitor) computeScaled(scaled []float64) (Statistics, error) {
 	t, err := m.model.Project(scaled)
 	if err != nil {
 		return Statistics{}, fmt.Errorf("mspc: %w", err)
 	}
+	return m.statsFrom(scaled, t), nil
+}
+
+// statsFrom derives D and Q from a preprocessed observation and its PCA
+// scores — the one formula shared by the allocating and scratch paths.
+func (m *Monitor) statsFrom(scaled, t []float64) Statistics {
 	eig := m.model.Eigenvalues()
 	var d float64
 	for a, tv := range t {
@@ -317,7 +338,7 @@ func (m *Monitor) computeScaled(scaled []float64) (Statistics, error) {
 	if q < 0 {
 		q = 0
 	}
-	return Statistics{D: d, Q: q}, nil
+	return Statistics{D: d, Q: q}
 }
 
 // DLimit returns the phase-II control limit of the D-statistic at

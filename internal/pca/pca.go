@@ -249,14 +249,29 @@ func (m *Model) Project(row []float64) ([]float64, error) {
 		return nil, fmt.Errorf("pca: Project len %d != nvars %d: %w", len(row), m.nvars, ErrBadInput)
 	}
 	t := make([]float64, m.NComponents())
-	for a := 0; a < m.NComponents(); a++ {
+	if err := m.ProjectInto(row, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ProjectInto is Project with a caller-provided destination of length
+// NComponents — the allocation-free hot-path variant.
+func (m *Model) ProjectInto(row, dst []float64) error {
+	if len(row) != m.nvars {
+		return fmt.Errorf("pca: Project len %d != nvars %d: %w", len(row), m.nvars, ErrBadInput)
+	}
+	if len(dst) != m.NComponents() {
+		return fmt.Errorf("pca: Project dst len %d != %d components: %w", len(dst), m.NComponents(), ErrBadInput)
+	}
+	for a := range dst {
 		var s float64
 		for j, v := range row {
 			s += m.loadings.At(j, a) * v
 		}
-		t[a] = s
+		dst[a] = s
 	}
-	return t, nil
+	return nil
 }
 
 // Reconstruct returns x̂ = P·Pᵀ·x, the projection of the observation onto

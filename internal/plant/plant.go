@@ -129,6 +129,23 @@ func (t *Template) BaseXMV() []float64 {
 // template.
 func (t *Template) StepSeconds() float64 { return t.cfg.StepSeconds }
 
+// DriftSpec models gradual plant/sensor aging as seen by the monitoring
+// layer: from StartHour, observation column j of BOTH recorded views is
+// offset by PerHour[j]·(hour−StartHour). The offset is applied at record
+// time only — identical in the two views (aging is not an attack, so it
+// must never create cross-view divergence) and invisible to the control
+// loop, which keeps regulating the true process.
+type DriftSpec struct {
+	// StartHour is when the aging begins.
+	StartHour float64
+	// PerHour is the additive drift rate per observation column
+	// ([XMEAS(1..41), XMV(1..12)] layout, len historian.NumVars); nil
+	// disables drift.
+	PerHour []float64
+}
+
+func (d DriftSpec) active() bool { return len(d.PerHour) > 0 }
+
 // RunConfig parameterizes one experiment run.
 type RunConfig struct {
 	// Seed drives all stochastic behaviour of this run.
@@ -142,6 +159,8 @@ type RunConfig struct {
 	// Decimate keeps one of every N samples in the historian (≤1 keeps
 	// all).
 	Decimate int
+	// Drift schedules gradual NOC aging of the recorded observations.
+	Drift DriftSpec
 }
 
 // Run is one closed-loop simulation with optional disturbances and
@@ -154,7 +173,12 @@ type Run struct {
 	act   *attack.Injector
 	views *historian.TwoView
 	idvs  []IDVEvent
+	drift DriftSpec
 	dt    float64
+
+	// Drift scratch: aged copies of the four recorded blocks, so the
+	// control loop's own slices are never mutated.
+	agedCX, agedCM, agedPX, agedPM []float64
 }
 
 // NewRun clones the template into a fresh run.
@@ -175,6 +199,15 @@ func (t *Template) NewRun(cfg RunConfig) (*Run, error) {
 			return nil, fmt.Errorf("plant: IDV window [%g,%g): %w", ev.StartHour, ev.EndHour, ErrBadConfig)
 		}
 	}
+	if cfg.Drift.active() {
+		if len(cfg.Drift.PerHour) != historian.NumVars {
+			return nil, fmt.Errorf("plant: drift rates len %d, want %d: %w",
+				len(cfg.Drift.PerHour), historian.NumVars, ErrBadConfig)
+		}
+		if cfg.Drift.StartHour < 0 {
+			return nil, fmt.Errorf("plant: drift start %g: %w", cfg.Drift.StartHour, ErrBadConfig)
+		}
+	}
 	views, err := historian.NewTwoView(cfg.Decimate)
 	if err != nil {
 		return nil, fmt.Errorf("plant: historian: %w", err)
@@ -189,7 +222,14 @@ func (t *Template) NewRun(cfg RunConfig) (*Run, error) {
 		act:   act,
 		views: views,
 		idvs:  append([]IDVEvent(nil), cfg.IDVs...),
+		drift: DriftSpec{StartHour: cfg.Drift.StartHour, PerHour: append([]float64(nil), cfg.Drift.PerHour...)},
 		dt:    t.cfg.StepSeconds / 3600,
+	}
+	if r.drift.active() {
+		r.agedCX = make([]float64, te.NumXMEAS)
+		r.agedPX = make([]float64, te.NumXMEAS)
+		r.agedCM = make([]float64, te.NumXMV)
+		r.agedPM = make([]float64, te.NumXMV)
 	}
 	// The attacker sits on the fieldbus: taps rewrite frames in transit.
 	r.link.SetSensorTap(func(f *fieldbus.Frame) {
@@ -237,10 +277,29 @@ func (r *Run) Step() error {
 			return err
 		}
 	}
+	if r.drift.active() && hour >= r.drift.StartHour {
+		// Plant aging: both recorded views receive the same slow offset
+		// (after the control loop consumed the true signals, so aging never
+		// feeds back) — identical in the two views, so it can never mimic a
+		// forged channel.
+		dh := hour - r.drift.StartHour
+		ctrlXMEAS = agedInto(r.agedCX, ctrlXMEAS, r.drift.PerHour[:te.NumXMEAS], dh)
+		procXMEAS = agedInto(r.agedPX, procXMEAS, r.drift.PerHour[:te.NumXMEAS], dh)
+		ctrlXMV = agedInto(r.agedCM, ctrlXMV, r.drift.PerHour[te.NumXMEAS:], dh)
+		procXMV = agedInto(r.agedPM, procXMV, r.drift.PerHour[te.NumXMEAS:], dh)
+	}
 	if err := r.views.Record(ctrlXMEAS, ctrlXMV, procXMEAS, procXMV); err != nil {
 		return fmt.Errorf("plant: record: %w", err)
 	}
 	return r.proc.Step()
+}
+
+// agedInto writes src + rates·dh into dst and returns dst.
+func agedInto(dst, src, rates []float64, dh float64) []float64 {
+	for j, v := range src {
+		dst[j] = v + rates[j]*dh
+	}
+	return dst
 }
 
 // RunHours steps until the given simulated duration has elapsed or the

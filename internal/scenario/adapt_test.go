@@ -1,0 +1,118 @@
+package scenario
+
+import (
+	"testing"
+
+	"pcsmon/internal/adapt"
+	"pcsmon/internal/core"
+)
+
+// adaptOptions are the adaptive settings the scenario tests share: refit
+// about once a simulated hour, remember ~2.5 h of in-control traffic.
+func adaptOptions() *adapt.Options {
+	return &adapt.Options{
+		Enabled:   true,
+		Every:     200,
+		Forget:    0.999,
+		MinWeight: 600,
+	}
+}
+
+// TestSlowDriftFrozenVsAdaptive is the subsystem's reason to exist, run on
+// the real plant: under gradual NOC aging (no disturbance, no attacker) the
+// frozen model must false-alarm strictly more than the adaptive model on
+// the same seeded run, and the adaptive verdict must stay Normal while the
+// model demonstrably swaps generations.
+func TestSlowDriftFrozenVsAdaptive(t *testing.T) {
+	exp, _ := fixture(t)
+	sc := SlowDriftScenario(testOnsetHour)
+
+	overCount := func(e *Experiment) (int, *RunOutcome) {
+		over := 0
+		out, err := e.Stream(sc, e.RunSeed(0), func(res core.StepResult) {
+			if res.Index < e.OnsetIndex() {
+				return
+			}
+			if (res.Ctrl != nil && res.Ctrl.Over()) || (res.Proc != nil && res.Proc.Over()) {
+				over++
+			}
+		})
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		return over, out
+	}
+
+	frozen := *exp
+	frozenOver, frozenOut := overCount(&frozen)
+
+	adaptive := *exp
+	adaptive.Adapt = adaptOptions()
+	swaps := 0
+	adaptive.OnSwap = func(adapt.Swap) { swaps++ }
+	adaptiveOver, adaptiveOut := overCount(&adaptive)
+
+	t.Logf("post-onset over-limit observations: frozen=%d adaptive=%d (swaps=%d)",
+		frozenOver, adaptiveOver, swaps)
+	if frozenOver <= adaptiveOver {
+		t.Errorf("frozen model false-alarm count %d not strictly above adaptive %d",
+			frozenOver, adaptiveOver)
+	}
+	// The frozen model walks out of its own NOC region: it latches a
+	// detection on healthy (aging) operation.
+	fr := frozenOut.Report
+	if !fr.Controller.Detected && !fr.Process.Detected {
+		t.Error("frozen model never false-alarmed under slow drift (drift too mild for the test to mean anything)")
+	}
+	// The adaptive model tracks the aging and stays quiet.
+	if got := adaptiveOut.Report.Verdict; got != core.VerdictNormal {
+		t.Errorf("adaptive verdict under pure aging: %v (%s)", got, adaptiveOut.Report.Explanation)
+	}
+	if swaps == 0 {
+		t.Error("adaptive run never swapped models")
+	}
+}
+
+// TestAdaptiveStillDetectsPaperScenarios: adaptation must not cost the
+// paper's results — with the adaptive layer enabled, each of the four §V
+// scenarios is still detected and classified as its ground truth (the
+// drift guard keeps the incident out of the baseline, so the model the
+// incident is judged against is still a NOC model).
+func TestAdaptiveStillDetectsPaperScenarios(t *testing.T) {
+	exp, _ := fixture(t)
+	for _, sc := range PaperScenarios(testOnsetHour) {
+		sc := sc
+		t.Run(sc.Key, func(t *testing.T) {
+			e := *exp
+			e.Adapt = adaptOptions()
+			e.EarlyStop = true
+			out, err := e.Stream(sc, e.RunSeed(0), nil)
+			if err != nil {
+				t.Fatalf("stream: %v", err)
+			}
+			rep := out.Report
+			if !rep.Controller.Detected && !rep.Process.Detected {
+				t.Fatalf("%s: not detected under adaptation", sc.Key)
+			}
+			if rep.Verdict != sc.Expected {
+				t.Errorf("%s: verdict %v, want %v (%s)", sc.Key, rep.Verdict, sc.Expected, rep.Explanation)
+			}
+		})
+	}
+}
+
+// TestDriftSpecValidation: malformed drift specs must be rejected with
+// ErrBadConfig before any simulation runs.
+func TestDriftSpecValidation(t *testing.T) {
+	exp, _ := fixture(t)
+	for _, sc := range []Scenario{
+		{Key: "bad-ch", Drift: DriftSpec{SigmaPerHour: 0.1, Channels: []int{999}}},
+		{Key: "bad-rate", Drift: DriftSpec{SigmaPerHour: -0.1, Channels: []int{0}}},
+		{Key: "bad-start", Drift: DriftSpec{StartHour: -2, SigmaPerHour: 0.1, Channels: []int{0}}},
+	} {
+		e := *exp
+		if _, err := e.runConfig(sc, 1, 1); err == nil {
+			t.Errorf("%s: accepted", sc.Key)
+		}
+	}
+}

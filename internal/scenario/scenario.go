@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"pcsmon/internal/adapt"
 	"pcsmon/internal/attack"
 	"pcsmon/internal/core"
 	"pcsmon/internal/dataset"
@@ -29,6 +30,23 @@ var (
 	ErrBadConfig = errors.New("scenario: invalid configuration")
 )
 
+// DriftSpec schedules gradual NOC aging: from StartHour each listed
+// observation column drifts linearly at SigmaPerHour calibration standard
+// deviations per hour, identically in both recorded views (aging is not an
+// attack) and invisibly to the control loop. The experiment converts the
+// σ-denominated rates into engineering units using the calibrated system's
+// scaler, so one spec is meaningful across plants.
+type DriftSpec struct {
+	// StartHour is when the aging begins.
+	StartHour float64
+	// SigmaPerHour is the drift rate in calibration σ per hour.
+	SigmaPerHour float64
+	// Channels lists the observation columns that age.
+	Channels []int
+}
+
+func (d DriftSpec) active() bool { return d.SigmaPerHour != 0 && len(d.Channels) > 0 }
+
 // Scenario is one anomalous situation.
 type Scenario struct {
 	// Key is a short machine-friendly identifier ("idv6", "xmv3-integrity",
@@ -40,6 +58,8 @@ type Scenario struct {
 	IDVs []plant.IDVEvent
 	// Attacks is the adversary plan.
 	Attacks []attack.Spec
+	// Drift schedules gradual NOC aging (slow plant/sensor drift).
+	Drift DriftSpec
 	// Expected is the ground-truth verdict (for scoring the classifier).
 	Expected core.Verdict
 	// AttackedVar is the ground-truth forged observation column (-1 for
@@ -158,6 +178,32 @@ func ExtendedScenarios(onsetHour float64) []Scenario {
 	}
 }
 
+// SlowDriftScenario returns the plant-aging situation the adaptive
+// recalibration layer exists for: from onsetHour a handful of correlated
+// process channels drift at a small fraction of a calibration σ per hour —
+// no disturbance, no attacker. A frozen model eventually walks out of its
+// own NOC region and false-alarms on healthy operation; an adaptive model
+// tracks the aging and stays quiet, which is why the ground-truth verdict
+// is Normal.
+func SlowDriftScenario(onsetHour float64) Scenario {
+	return Scenario{
+		Key:  "slow-drift",
+		Name: "Slow NOC aging: correlated sensor drift, no anomaly",
+		Drift: DriftSpec{
+			StartHour:    onsetHour,
+			SigmaPerHour: 0.06,
+			Channels: []int{
+				te.XmeasReactorTemp,
+				te.XmeasReactorPress,
+				te.XmeasSepTemp,
+				te.XmeasStripTemp,
+			},
+		},
+		Expected:    core.VerdictNormal,
+		AttackedVar: -1,
+	}
+}
+
 // Experiment holds everything needed to execute scenarios.
 type Experiment struct {
 	// Template is the warmed-up plant.
@@ -185,6 +231,14 @@ type Experiment struct {
 	// simulating after the first alarm in early-stop mode (0 = six
 	// diagnosis windows, comfortably past every evidence buffer).
 	StopHorizon int
+	// Adapt enables the adaptive recalibration layer on the streaming
+	// paths: each run gets a fresh tracker seeded from System, learns from
+	// in-control observations and swaps models at diagnosis-window
+	// boundaries. Nil keeps the paper's frozen model.
+	Adapt *adapt.Options
+	// OnSwap observes every accepted model swap of a streaming run (only
+	// meaningful with Adapt set).
+	OnSwap func(adapt.Swap)
 }
 
 // validate checks the experiment parameters, wrapping ErrBadConfig.
@@ -205,7 +259,41 @@ func (e *Experiment) validate(runs int) error {
 	case e.StopHorizon < 0:
 		return fmt.Errorf("scenario: stop horizon %d: %w", e.StopHorizon, ErrBadConfig)
 	}
+	if e.Adapt != nil {
+		if err := e.Adapt.Validate(); err != nil {
+			return fmt.Errorf("scenario: %w", err)
+		}
+	}
 	return nil
+}
+
+// runConfig turns a scenario into one run's plant configuration, converting
+// any σ-denominated drift spec into engineering units with the calibrated
+// scaler — the single place batch, streaming and feed runs share.
+func (e *Experiment) runConfig(sc Scenario, seed int64, decimate int) (plant.RunConfig, error) {
+	cfg := plant.RunConfig{
+		Seed:     seed,
+		IDVs:     sc.IDVs,
+		Attacks:  sc.Attacks,
+		Decimate: decimate,
+	}
+	if !sc.Drift.active() {
+		return cfg, nil
+	}
+	if sc.Drift.SigmaPerHour < 0 || sc.Drift.StartHour < 0 {
+		return cfg, fmt.Errorf("scenario: drift rate %g from hour %g: %w",
+			sc.Drift.SigmaPerHour, sc.Drift.StartHour, ErrBadConfig)
+	}
+	stds := e.System.Monitor().Scaler().Stds()
+	per := make([]float64, historian.NumVars)
+	for _, j := range sc.Drift.Channels {
+		if j < 0 || j >= historian.NumVars {
+			return cfg, fmt.Errorf("scenario: drift channel %d: %w", j, ErrBadConfig)
+		}
+		per[j] = sc.Drift.SigmaPerHour * stds[j]
+	}
+	cfg.Drift = plant.DriftSpec{StartHour: sc.Drift.StartHour, PerHour: per}
+	return cfg, nil
 }
 
 // geometry derives the per-observation interval and the onset index from
@@ -363,12 +451,11 @@ func (e *Experiment) RunSeed(i int64) int64 { return e.SeedBase + 1000 + i }
 // afterwards — the paper's original record-then-read protocol.
 func (e *Experiment) batchOne(sc Scenario, seed int64) (*RunOutcome, error) {
 	decimate, sample, onsetIdx := e.geometry()
-	run, err := e.Template.NewRun(plant.RunConfig{
-		Seed:     seed,
-		IDVs:     sc.IDVs,
-		Attacks:  sc.Attacks,
-		Decimate: decimate,
-	})
+	cfg, err := e.runConfig(sc, seed, decimate)
+	if err != nil {
+		return nil, err
+	}
+	run, err := e.Template.NewRun(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -433,12 +520,11 @@ func (e *Experiment) Feed(sc Scenario, seed int64, tap historian.Tap) (*FeedOutc
 		return nil, fmt.Errorf("scenario: nil tap: %w", ErrBadConfig)
 	}
 	decimate, _, _ := e.geometry()
-	run, err := e.Template.NewRun(plant.RunConfig{
-		Seed:     seed,
-		IDVs:     sc.IDVs,
-		Attacks:  sc.Attacks,
-		Decimate: decimate,
-	})
+	cfg, err := e.runConfig(sc, seed, decimate)
+	if err != nil {
+		return nil, err
+	}
+	run, err := e.Template.NewRun(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -476,16 +562,15 @@ func (e *Experiment) Stream(sc Scenario, seed int64, cb StreamCallback) (*RunOut
 
 func (e *Experiment) streamOne(sc Scenario, seed int64, cb StreamCallback) (*RunOutcome, error) {
 	decimate, sample, onsetIdx := e.geometry()
-	run, err := e.Template.NewRun(plant.RunConfig{
-		Seed:     seed,
-		IDVs:     sc.IDVs,
-		Attacks:  sc.Attacks,
-		Decimate: decimate,
-	})
+	cfg, err := e.runConfig(sc, seed, decimate)
 	if err != nil {
 		return nil, err
 	}
-	oa, err := e.System.NewOnlineAnalyzer(onsetIdx, sample)
+	run, err := e.Template.NewRun(cfg)
+	if err != nil {
+		return nil, err
+	}
+	oa, err := adapt.NewScorer(e.System, e.Adapt, onsetIdx, sample, e.OnSwap)
 	if err != nil {
 		return nil, err
 	}

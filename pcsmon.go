@@ -66,6 +66,8 @@ type (
 	AttackSpec = attack.Spec
 	// IDVEvent schedules a process disturbance.
 	IDVEvent = plant.IDVEvent
+	// DriftSpec schedules gradual NOC aging in a scenario.
+	DriftSpec = scenario.DriftSpec
 )
 
 // Verdict values.
@@ -107,6 +109,15 @@ func PaperScenarios(onsetHour float64) []Scenario {
 // beyond the paper's four.
 func ExtendedScenarios(onsetHour float64) []Scenario {
 	return scenario.ExtendedScenarios(onsetHour)
+}
+
+// SlowDriftScenario returns the gradual plant-aging situation the adaptive
+// recalibration layer (StreamOptions.Adaptive, FleetOptions.Adaptive)
+// exists for: correlated channels drift slowly with no disturbance and no
+// attacker, so the ground truth is Normal — a frozen model eventually
+// false-alarms on it while an adaptive model tracks the aging.
+func SlowDriftScenario(onsetHour float64) Scenario {
+	return scenario.SlowDriftScenario(onsetHour)
 }
 
 // LabConfig parameterizes NewLab. The zero value gives a laptop-friendly
@@ -233,6 +244,11 @@ func onsetOf(sc Scenario) float64 {
 	for _, a := range sc.Attacks {
 		if onset < 0 || a.StartHour < onset {
 			onset = a.StartHour
+		}
+	}
+	if sc.Drift.SigmaPerHour > 0 && len(sc.Drift.Channels) > 0 {
+		if onset < 0 || sc.Drift.StartHour < onset {
+			onset = sc.Drift.StartHour
 		}
 	}
 	if onset < 0 {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"pcsmon/internal/adapt"
 	"pcsmon/internal/core"
 	"pcsmon/internal/mspc"
 )
@@ -43,6 +44,18 @@ type AlarmRaised struct {
 	Charts []string
 }
 
+// ModelSwapped reports that the adaptive recalibration layer migrated the
+// stream to a freshly refitted model at a diagnosis-window boundary.
+type ModelSwapped struct {
+	// Index is the observation index of the boundary the swap landed on.
+	Index int
+	// Generation is the model generation now scoring the stream (the
+	// calibration-time model is generation 0).
+	Generation uint64
+	// D99 and Q99 are the new model's 99 % control limits.
+	D99, Q99 float64
+}
+
 // VerdictReady carries the final classified report when the stream ends.
 type VerdictReady struct {
 	Report *Report
@@ -55,7 +68,15 @@ type VerdictReady struct {
 
 func (SampleScored) streamEvent() {}
 func (AlarmRaised) streamEvent()  {}
+func (ModelSwapped) streamEvent() {}
 func (VerdictReady) streamEvent() {}
+
+// AdaptiveOptions tunes the adaptive recalibration layer (internal/adapt):
+// an EWMA model tracker fed only by in-control observations, candidate
+// refits on a cadence, guard checks against the incumbent, and atomic model
+// swaps at diagnosis-window boundaries. The zero value is disabled — the
+// paper's frozen-model behaviour, bit-identical to not configuring it.
+type AdaptiveOptions = adapt.Options
 
 // StreamOptions tunes Lab.StreamScenario.
 type StreamOptions struct {
@@ -81,6 +102,9 @@ type StreamOptions struct {
 	// are never dropped or reordered. 0 keeps the synchronous in-loop
 	// delivery.
 	EventBuffer int
+	// Adaptive enables the adaptive recalibration layer for this stream;
+	// accepted swaps surface as ModelSwapped events.
+	Adaptive AdaptiveOptions
 }
 
 // StreamScenario simulates one run of a scenario and monitors it online:
@@ -98,6 +122,16 @@ func (l *Lab) StreamScenario(sc Scenario, opts StreamOptions, emit func(StreamEv
 		var flush func()
 		send, flush = NewBufferedEmitter(emit, opts.EventBuffer)
 		defer flush()
+	}
+	if opts.Adaptive.Enabled {
+		ao := opts.Adaptive
+		exp.Adapt = &ao
+		if send != nil {
+			emitSwap := send
+			exp.OnSwap = func(s adapt.Swap) {
+				emitSwap(ModelSwapped{Index: s.At, Generation: s.Generation, D99: s.D99, Q99: s.Q99})
+			}
+		}
 	}
 	out, err := exp.Stream(sc, exp.RunSeed(opts.Seed), stepEmitter(send, opts.EmitEvery))
 	if err != nil {
@@ -147,10 +181,25 @@ type StreamFeed func() (ctrl, proc []float64, err error)
 // the observation interval. The final report is returned after the feed
 // ends; emit — if non-nil — sees the live event stream.
 func Stream(sys *System, onset int, sample time.Duration, feed StreamFeed, emit func(StreamEvent)) (*Report, error) {
+	return StreamAdaptive(sys, onset, sample, AdaptiveOptions{}, feed, emit)
+}
+
+// StreamAdaptive is Stream with the adaptive recalibration layer: a fresh
+// model tracker learns from this stream's in-control observations, refits
+// on the configured cadence and swaps models at diagnosis-window
+// boundaries, emitting ModelSwapped events. A disabled AdaptiveOptions
+// makes it exactly Stream.
+func StreamAdaptive(sys *System, onset int, sample time.Duration, ao AdaptiveOptions, feed StreamFeed, emit func(StreamEvent)) (*Report, error) {
 	if feed == nil {
 		return nil, fmt.Errorf("pcsmon: nil feed: %w", ErrBadConfig)
 	}
-	oa, err := sys.NewOnlineAnalyzer(onset, sample)
+	var onSwap func(adapt.Swap)
+	if emit != nil {
+		onSwap = func(s adapt.Swap) {
+			emit(ModelSwapped{Index: s.At, Generation: s.Generation, D99: s.D99, Q99: s.Q99})
+		}
+	}
+	oa, err := adapt.NewScorer(sys, &ao, onset, sample, onSwap)
 	if err != nil {
 		return nil, fmt.Errorf("pcsmon: %w", err)
 	}
