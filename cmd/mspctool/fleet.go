@@ -25,9 +25,17 @@ import (
 //     the first column keys the stream, the rest is a single-view
 //     observation (used for both views, like watch without -proc).
 //   - TCP (-listen): a fieldbus.Server accepts length-prefixed frames on
-//     the given address; each sensor frame carrying exactly 53 values is
-//     one observation of plant "unit-<Unit>". The listener stops after
-//     -max-obs observations or -idle without traffic.
+//     the given address and routes them through the two-view pairing
+//     ingest: a sensor frame carries the controller-view row and an
+//     actuator frame the process-view row of observation (unit, seq), and
+//     the pair is scored as one cross-view observation of plant
+//     "unit-<Unit>". Frames may arrive out of order within -pair-window
+//     sequence numbers (or -pair-timeout of wall clock); a view that goes
+//     silent is scored hold-last-value and reported as DoS-consistent
+//     frame loss instead of silently downgrading to single-view
+//     monitoring. Sensor-only feeds keep working as single-view streams.
+//     The listener stops after -max-obs observations (distinct (unit,
+//     seq) pairs seen) or -idle without traffic.
 //
 // Plants attach lazily on first sight; at end of input every stream is
 // detached and its classified report summarized, followed by the pool's
@@ -46,6 +54,8 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		listen      = fs.String("listen", "", "accept fieldbus frames on this TCP address instead of reading CSV from stdin")
 		maxObs      = fs.Int64("max-obs", 0, "TCP mode: stop after this many observations (0 = rely on -idle)")
 		idle        = fs.Duration("idle", 5*time.Second, "TCP mode: stop after this long without traffic")
+		pairWindow  = fs.Int("pair-window", 64, "TCP mode: reorder window for sensor/actuator frame pairing, in sequence numbers")
+		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "TCP mode: flush observations whose mate frame is this late (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,8 +80,12 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("mspctool fleet: -max-obs %d must be >= 0: %w", *maxObs, pcsmon.ErrBadConfig)
 	case *idle <= 0:
 		return fmt.Errorf("mspctool fleet: -idle %v must be positive: %w", *idle, pcsmon.ErrBadConfig)
+	case *pairWindow <= 0:
+		return fmt.Errorf("mspctool fleet: -pair-window %d must be positive: %w", *pairWindow, pcsmon.ErrBadConfig)
+	case *pairTimeout < 0:
+		return fmt.Errorf("mspctool fleet: -pair-timeout %v must be >= 0: %w", *pairTimeout, pcsmon.ErrBadConfig)
 	case *listen == "" && tcpFlagSet(fs):
-		return fmt.Errorf("mspctool fleet: -max-obs/-idle only apply with -listen: %w", pcsmon.ErrBadConfig)
+		return fmt.Errorf("mspctool fleet: -max-obs/-idle/-pair-window/-pair-timeout only apply with -listen: %w", pcsmon.ErrBadConfig)
 	}
 	adaptive, err := adaptiveFlags(fs, "mspctool fleet", *adaptEvery, *adaptForget)
 	if err != nil {
@@ -118,24 +132,34 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		}
 	}()
 
-	// feed pushes one single-view observation, attaching the plant on
-	// first sight.
-	seen := map[string]bool{}
-	feed := func(plant string, row []float64) error {
-		if !seen[plant] {
-			if err := fl.Attach(plant, onset); err != nil {
-				return err
-			}
-			seen[plant] = true
-			fmt.Fprintf(out, "plant %s attached\n", plant)
-		}
-		return fl.Push(plant, row, row)
-	}
-
+	var ids []string
 	if *listen != "" {
-		err = serveFleetTCP(*listen, *maxObs, *idle, out, feed)
+		ids, err = serveFleetTCP(fl, tcpConfig{
+			addr:        *listen,
+			maxObs:      *maxObs,
+			idle:        *idle,
+			pairWindow:  *pairWindow,
+			pairTimeout: *pairTimeout,
+			onset:       onset,
+		}, out)
 	} else {
+		// feed pushes one single-view observation, attaching the plant on
+		// first sight.
+		seen := map[string]bool{}
+		feed := func(plant string, row []float64) error {
+			if !seen[plant] {
+				if err := fl.Attach(plant, onset); err != nil {
+					return err
+				}
+				seen[plant] = true
+				fmt.Fprintf(out, "plant %s attached\n", plant)
+			}
+			return fl.Push(plant, row, row)
+		}
 		err = demuxFleetCSV(in, feed)
+		for id := range seen {
+			ids = append(ids, id)
+		}
 	}
 	if err != nil {
 		_ = fl.Close()
@@ -144,10 +168,6 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 	}
 
 	// Detach everything (events deliver the verdicts), then report.
-	ids := make([]string, 0, len(seen))
-	for id := range seen {
-		ids = append(ids, id)
-	}
 	sort.Strings(ids)
 	for _, id := range ids {
 		if _, err := fl.Detach(id); err != nil {
@@ -184,7 +204,8 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 func tcpFlagSet(fs *flag.FlagSet) bool {
 	set := false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "max-obs" || f.Name == "idle" {
+		switch f.Name {
+		case "max-obs", "idle", "pair-window", "pair-timeout":
 			set = true
 		}
 	})
@@ -232,58 +253,142 @@ func demuxFleetCSV(in io.Reader, feed func(plant string, row []float64) error) e
 	}
 }
 
-// serveFleetTCP accepts fieldbus frames and routes each full-width sensor
-// frame to plant "unit-<Unit>". It returns once maxObs observations have
-// arrived (when set) or no traffic has been seen for the idle duration —
-// counted from startup, so a listener nobody connects to also terminates.
-func serveFleetTCP(addr string, maxObs int64, idle time.Duration, out io.Writer, feed func(plant string, row []float64) error) error {
+// tcpConfig bundles the TCP-mode parameters of serveFleetTCP.
+type tcpConfig struct {
+	addr        string
+	maxObs      int64
+	idle        time.Duration
+	pairWindow  int
+	pairTimeout time.Duration
+	onset       int
+}
+
+// serveFleetTCP accepts fieldbus frames and routes each full-width frame
+// through the two-view pairing ingest into the fleet: sensor frames carry
+// controller-view rows, actuator frames process-view rows, joined by
+// (unit, seq) into plant "unit-<Unit>". It returns the attached plant ids
+// once maxObs observations have been seen (when set) or no traffic has
+// arrived for the idle duration — counted from startup, so a listener
+// nobody connects to also terminates.
+func serveFleetTCP(fl *pcsmon.Fleet, cfg tcpConfig, out io.Writer) ([]string, error) {
 	var (
-		mu       sync.Mutex // serializes feed across connection goroutines
+		mu       sync.Mutex // serializes output + the sticky ingest error
 		feedErr  error
-		obsCount atomic.Int64
 		lastSeen atomic.Int64 // UnixNano of the last frame (or startup)
 	)
 	lastSeen.Store(time.Now().UnixNano())
 	done := make(chan struct{})
 	var closeOnce sync.Once
 	finish := func() { closeOnce.Do(func() { close(done) }) }
-	srv, err := fieldbus.NewServer(addr, func(f *fieldbus.Frame) {
-		if f.Type != fieldbus.FrameSensor || len(f.Values) != historian.NumVars {
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{
+		Window:  cfg.pairWindow,
+		Timeout: cfg.pairTimeout,
+		Onset:   cfg.onset,
+		OnAttach: func(plant string) {
+			mu.Lock()
+			fmt.Fprintf(out, "plant %s attached\n", plant)
+			mu.Unlock()
+		},
+	}, func(ev pcsmon.FleetEvent) {
+		// Per-frame losses are summarized at the end; only a systematic
+		// one-view blackout deserves a live line.
+		if s, ok := ev.Event.(pcsmon.ViewStalled); ok {
+			mu.Lock()
+			fmt.Fprintf(out, "VIEW STALL [%s] %s frames missing since obs %d — scoring hold-last-value (DoS-consistent)\n",
+				ev.Plant, s.View, s.Seq)
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := fieldbus.NewServer(cfg.addr, func(f *fieldbus.Frame) {
+		if len(f.Values) != historian.NumVars {
 			return // not a historian observation frame
 		}
+		var offerErr error
+		switch f.Type {
+		case fieldbus.FrameSensor:
+			offerErr = pi.OfferSensor(f.Unit, f.Seq, f.Values)
+		case fieldbus.FrameActuator:
+			offerErr = pi.OfferActuator(f.Unit, f.Seq, f.Values)
+		default:
+			return // only observation frames count as traffic for -idle
+		}
 		lastSeen.Store(time.Now().UnixNano())
-		plant := fmt.Sprintf("unit-%03d", f.Unit)
 		mu.Lock()
 		if feedErr == nil {
-			feedErr = feed(plant, f.Values)
+			feedErr = offerErr
 		}
 		failed := feedErr != nil
 		mu.Unlock()
-		n := obsCount.Add(1)
-		if failed || (maxObs > 0 && n >= maxObs) {
+		if failed || (cfg.maxObs > 0 && int64(pi.StepCount()) >= cfg.maxObs) {
 			finish()
 		}
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer func() { _ = srv.Close() }()
+	mu.Lock()
 	fmt.Fprintf(out, "listening on %s\n", srv.Addr())
+	mu.Unlock()
 
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
-	for {
+	running := true
+	for running {
 		select {
 		case <-done:
-			mu.Lock()
-			defer mu.Unlock()
-			return feedErr
-		case <-ticker.C:
-			if time.Since(time.Unix(0, lastSeen.Load())) > idle {
+			// The cap fires on the first frame of the final observation;
+			// give its in-flight mate frame a short quiet period to land
+			// before the listener is torn down, so the last observation is
+			// paired instead of nondeterministically orphaned. An ingest
+			// error — pre-existing or arriving mid-grace — skips the
+			// grace: nothing useful can still arrive.
+			failed := func() bool {
 				mu.Lock()
 				defer mu.Unlock()
-				return feedErr
+				return feedErr != nil
+			}
+			grace := time.Now().Add(time.Second)
+			for !failed() && time.Now().Before(grace) &&
+				time.Since(time.Unix(0, lastSeen.Load())) < 100*time.Millisecond {
+				time.Sleep(10 * time.Millisecond)
+			}
+			running = false
+		case <-ticker.C:
+			if err := pi.Tick(time.Now()); err != nil {
+				mu.Lock()
+				if feedErr == nil {
+					feedErr = err
+				}
+				mu.Unlock()
+				running = false
+			}
+			if time.Since(time.Unix(0, lastSeen.Load())) > cfg.idle {
+				running = false
 			}
 		}
 	}
+	// Stop the listener before the final flush so no connection goroutine
+	// races the drain. mu must NOT be held across Flush: the flush emits
+	// outcomes, and their OnAttach/ViewStalled callbacks lock mu to print.
+	_ = srv.Close()
+	mu.Lock()
+	err = feedErr
+	mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	if err := pi.Flush(); err != nil {
+		return nil, err
+	}
+	st := pi.Stats()
+	mu.Lock()
+	fmt.Fprintf(out, "pairing: %d frames -> %d paired, %d orphaned (%d sensor / %d actuator), %d gap obs, %d dup, %d stale, %d outlier, %d view stalls\n",
+		st.Frames, st.Paired, st.OrphanSensors+st.OrphanActuators, st.OrphanSensors, st.OrphanActuators,
+		st.GapSeqs, st.Duplicates, st.Stale, st.Outliers, st.Stalls)
+	mu.Unlock()
+	return pi.Plants(), nil
 }

@@ -202,7 +202,6 @@ func TestFleetSubcommandTCP(t *testing.T) {
 	for j := range w {
 		w[j] = rng.NormFloat64()
 	}
-	var seq uint64
 	for i := 0; i < rows; i++ {
 		for u := 0; u < units; u++ {
 			z := rng.NormFloat64()
@@ -213,18 +212,18 @@ func TestFleetSubcommandTCP(t *testing.T) {
 			if u == 1 && i >= 60 {
 				vals[0] -= 30 // unit 1 drifts out of control mid-stream
 			}
-			seq++
+			// Sequence numbers are per unit; a sensor-only feed degrades to
+			// single-view monitoring through the pairing path.
 			if err := cli.Send(&fieldbus.Frame{
-				Type: fieldbus.FrameSensor, Unit: uint8(u), Seq: seq, Values: vals,
+				Type: fieldbus.FrameSensor, Unit: uint8(u), Seq: uint64(i + 1), Values: vals,
 			}); err != nil {
 				t.Fatal(err)
 			}
 		}
 	}
 	// An undersized frame must be ignored, not crash the demux.
-	seq++
 	if err := cli.Send(&fieldbus.Frame{
-		Type: fieldbus.FrameSensor, Unit: 9, Seq: seq, Values: []float64{1, 2, 3},
+		Type: fieldbus.FrameSensor, Unit: 9, Seq: 1, Values: []float64{1, 2, 3},
 	}); err != nil {
 		t.Fatal(err)
 	}
@@ -243,6 +242,7 @@ func TestFleetSubcommandTCP(t *testing.T) {
 		"plant unit-001 attached",
 		"plant unit-002 attached",
 		"ALARM [unit-001/",
+		"pairing: ",
 		fmt.Sprintf("fleet: 3 plants, %d observations", units*rows),
 	} {
 		if !strings.Contains(text, want) {
@@ -251,6 +251,207 @@ func TestFleetSubcommandTCP(t *testing.T) {
 	}
 	if strings.Contains(text, "unit-009") {
 		t.Errorf("undersized frame attached a plant:\n%s", text)
+	}
+	// A sensor-only feed is plain single-view operation, not a blackout.
+	if strings.Contains(text, "VIEW STALL") {
+		t.Errorf("single-view feed reported a view stall:\n%s", text)
+	}
+}
+
+// TestFleetSubcommandTCPTwoView: paired sensor+actuator frames over a real
+// socket get the full cross-view diagnosis — the diverging unit is
+// classified as an integrity attack, which no single-view stream can ever
+// conclude — and a mid-stream actuator blackout on another unit is
+// surfaced as a view stall and classified DoS instead of silently
+// degrading.
+func TestFleetSubcommandTCPTwoView(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+
+	const (
+		units = 3
+		rows  = 200
+		shift = 100
+	)
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runFleet([]string{
+			"-cal", cal,
+			"-sample", "9",
+			"-onset-hour", "0.25", // row 100 at 9 s samples
+			"-listen", "127.0.0.1:0",
+			"-pair-window", "32",
+			"-max-obs", fmt.Sprint(units * rows),
+			"-idle", "30s",
+		}, strings.NewReader(""), &out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener address never printed:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cli, err := fieldbus.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		for u := 0; u < units; u++ {
+			z := rng.NormFloat64()
+			ctrl := make([]float64, m)
+			for j := 0; j < m; j++ {
+				ctrl[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+			}
+			proc := append([]float64(nil), ctrl...)
+			switch {
+			case u == 1 && i >= shift:
+				// A forged channel: the two views disagree about var 0.
+				ctrl[0] -= 30
+				proc[0] += 30
+			case u == 2 && i >= shift:
+				// The plant moves while its actuator view goes dark below.
+				ctrl[3] += 30
+				proc[3] += 30
+			}
+			if err := cli.Send(&fieldbus.Frame{
+				Type: fieldbus.FrameSensor, Unit: uint8(u), Seq: uint64(i + 1), Values: ctrl,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if u == 2 && i >= shift {
+				continue // actuator-view blackout on unit 2
+			}
+			if err := cli.Send(&fieldbus.Frame{
+				Type: fieldbus.FrameActuator, Unit: uint8(u), Seq: uint64(i + 1), Values: proc,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet tcp two-view: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("fleet tcp two-view never finished:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"plant unit-000 attached",
+		"plant unit-000: normal",
+		"ALARM [unit-001/",
+		"plant unit-001: integrity-attack",
+		"VIEW STALL [unit-002] actuator frames missing",
+		"plant unit-002: dos-attack",
+		"pairing: ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet tcp two-view output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFleetSubcommandTCPShortFeed: a feed shorter than the reorder window
+// leaves all emission — including the first-sight attach and its output
+// callback — to the final flush. This is the regression test for a
+// deadlock where that flush ran while holding the output mutex the
+// callbacks need.
+func TestFleetSubcommandTCPShortFeed(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+
+	const rows = 10 // far fewer than the default 64-deep window
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runFleet([]string{
+			"-cal", cal,
+			"-sample", "9",
+			"-listen", "127.0.0.1:0",
+			"-max-obs", fmt.Sprint(rows),
+			"-idle", "30s",
+		}, strings.NewReader(""), &out)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener address never printed:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli, err := fieldbus.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		z := rng.NormFloat64()
+		vals := make([]float64, m)
+		for j := 0; j < m; j++ {
+			vals[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		if err := cli.Send(&fieldbus.Frame{
+			Type: fieldbus.FrameSensor, Unit: 0, Seq: uint64(i), Values: vals,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Send(&fieldbus.Frame{
+			Type: fieldbus.FrameActuator, Unit: 0, Seq: uint64(i), Values: vals,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet tcp short feed: %v\n%s", err, out.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("short feed hung (flush deadlock):\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"plant unit-000 attached",
+		fmt.Sprintf("pairing: %d frames -> %d paired, 0 orphaned", 2*rows, rows),
+		"plant unit-000: normal",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("short-feed output missing %q:\n%s", want, text)
+		}
 	}
 }
 
@@ -269,8 +470,13 @@ func TestFleetFlagValidation(t *testing.T) {
 		{"-cal", cal, "-workers", "-1"},
 		{"-cal", cal, "-listen", "127.0.0.1:0", "-max-obs", "-5"},
 		{"-cal", cal, "-listen", "127.0.0.1:0", "-idle", "-1s"},
-		{"-cal", cal, "-max-obs", "10"}, // TCP-only flag without -listen
-		{"-cal", cal, "-idle", "1s"},    // TCP-only flag without -listen
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-pair-window", "0"},
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-pair-window", "-4"},
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-pair-timeout", "-1s"},
+		{"-cal", cal, "-max-obs", "10"},      // TCP-only flag without -listen
+		{"-cal", cal, "-idle", "1s"},         // TCP-only flag without -listen
+		{"-cal", cal, "-pair-window", "16"},  // TCP-only flag without -listen
+		{"-cal", cal, "-pair-timeout", "1s"}, // TCP-only flag without -listen
 		{"-cal", cal, "-adapt-every", "-10"},
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "1.5"},
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "0"},

@@ -139,8 +139,15 @@ func NewTEController() (*TEController, error) {
 }
 
 // Step consumes one XMEAS sample (len 41) and the interval dt in hours and
-// returns the 12 XMV commands. The returned slice is freshly allocated.
+// returns the 12 XMV commands. The returned slice is freshly allocated;
+// StepInto is the reuse variant for per-step loops.
 func (c *TEController) Step(xmeas []float64, dt float64) ([]float64, error) {
+	return c.StepInto(xmeas, dt, nil)
+}
+
+// StepInto is Step writing the commands into dst when its capacity
+// suffices (otherwise into a fresh slice), returning the filled slice.
+func (c *TEController) StepInto(xmeas []float64, dt float64, dst []float64) ([]float64, error) {
 	if len(xmeas) != te.NumXMEAS {
 		return nil, fmt.Errorf("control: xmeas len %d != %d: %w", len(xmeas), te.NumXMEAS, ErrBadConfig)
 	}
@@ -200,9 +207,13 @@ func (c *TEController) Step(xmeas []float64, dt float64) ([]float64, error) {
 	c.out[te.XmvRecycle] = te.BaseXMV[te.XmvRecycle]
 	c.out[te.XmvAgitator] = te.BaseXMV[te.XmvAgitator]
 
-	cmds := make([]float64, te.NumXMV)
-	copy(cmds, c.out[:])
-	return cmds, nil
+	if cap(dst) >= te.NumXMV {
+		dst = dst[:te.NumXMV]
+	} else {
+		dst = make([]float64, te.NumXMV)
+	}
+	copy(dst, c.out[:])
+	return dst, nil
 }
 
 // Outputs returns a copy of the last commanded XMV vector.

@@ -59,16 +59,29 @@ func (l *Link) SetActuatorTap(t Tap) {
 // the block as received by the controller side (after any tap). The
 // returned slice is owned by the caller.
 func (l *Link) SendSensors(values []float64) ([]float64, error) {
-	return l.send(FrameSensor, values)
+	return l.send(FrameSensor, values, nil)
+}
+
+// SendSensorsInto is SendSensors delivering into dst when its capacity
+// suffices — the allocation-free path for per-sample closed loops. values
+// and dst must not alias.
+func (l *Link) SendSensorsInto(values, dst []float64) ([]float64, error) {
+	return l.send(FrameSensor, values, dst)
 }
 
 // SendActuators transmits an XMV block from the controller side and
 // returns the block as received by the process side (after any tap).
 func (l *Link) SendActuators(values []float64) ([]float64, error) {
-	return l.send(FrameActuator, values)
+	return l.send(FrameActuator, values, nil)
 }
 
-func (l *Link) send(t FrameType, values []float64) ([]float64, error) {
+// SendActuatorsInto is SendActuators delivering into dst when its
+// capacity suffices. values and dst must not alias.
+func (l *Link) SendActuatorsInto(values, dst []float64) ([]float64, error) {
+	return l.send(FrameActuator, values, dst)
+}
+
+func (l *Link) send(t FrameType, values, dst []float64) ([]float64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -104,7 +117,7 @@ func (l *Link) send(t FrameType, values []float64) ([]float64, error) {
 	if tap != nil {
 		tap(&l.recvFrame)
 	}
-	out := append([]float64(nil), l.recvFrame.Values...)
+	out := reuseCopy(dst, l.recvFrame.Values)
 	switch t {
 	case FrameSensor:
 		l.lastSensor = reuseCopy(l.lastSensor, out)

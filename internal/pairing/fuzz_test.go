@@ -1,0 +1,104 @@
+package pairing
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pcsmon/internal/fieldbus"
+)
+
+// FuzzCorrelator drives the pairing state machine with arbitrary frame
+// interleavings — types, units, wildly jumping sequence numbers,
+// duplicates — decoded from the fuzzer's byte stream, and asserts the
+// correlator's structural invariants:
+//
+//   - no panic, whatever the interleaving;
+//   - frame conservation: every accepted frame is accounted as exactly one
+//     of paired/orphan/duplicate/stale or still pending, and nothing stays
+//     pending after Close;
+//   - bounded memory: pending frames never exceed units x window x 2;
+//   - per-unit emission order: scoreable outcomes carry strictly
+//     increasing sequence numbers.
+func FuzzCorrelator(f *testing.F) {
+	// Seeds: in-order pairs, a duplicate flood, a seq jump, unit interleave.
+	f.Add([]byte{0x00, 0x01, 0x10, 0x11, 0x20, 0x21})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 0x01, 0x01})
+	f.Add([]byte{0x00, 0xF0, 0x01, 0xF1})
+	f.Add([]byte{0x00, 0x41, 0x80, 0xC1, 0x10, 0x51})
+	f.Add(binary.BigEndian.AppendUint64(nil, 1<<63))
+
+	const window = 4
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lastSeq := map[uint8]uint64{}
+		seenAny := map[uint8]bool{}
+		sink := func(ev Event) error {
+			switch ev.Outcome {
+			case Paired, OrphanSensor, OrphanActuator:
+				if seenAny[ev.Unit] && ev.Seq <= lastSeq[ev.Unit] {
+					t.Fatalf("unit %d emitted seq %d after %d", ev.Unit, ev.Seq, lastSeq[ev.Unit])
+				}
+				lastSeq[ev.Unit], seenAny[ev.Unit] = ev.Seq, true
+				if ev.Ctrl == nil || ev.Proc == nil {
+					t.Fatalf("scoreable outcome %v without rows", ev.Outcome)
+				}
+			case GapDetected:
+				if ev.Span == 0 {
+					t.Fatal("gap with zero span")
+				}
+			case EpochReset:
+				// Sequence numbering restarted: monotonicity begins anew.
+				seenAny[ev.Unit] = false
+			}
+			return nil
+		}
+		c, err := NewCorrelator(Config{Cols: 3, Window: window}, sink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := []float64{1, 2, 3}
+		units := map[uint8]bool{}
+		// Each byte is one frame: bit 0 selects the view, bits 1-2 the
+		// unit, the rest a sequence delta; every 8th byte widens the jump
+		// so the overflow/gap machinery is exercised.
+		seq := map[uint8]uint64{}
+		for i, b := range data {
+			typ := fieldbus.FrameSensor
+			if b&1 != 0 {
+				typ = fieldbus.FrameActuator
+			}
+			unit := (b >> 1) & 3
+			delta := uint64(b >> 3)
+			if i%8 == 7 {
+				delta *= uint64(b) * 31 // occasional far jump
+			}
+			if b&0x40 != 0 && seq[unit] > delta {
+				seq[unit] -= delta // move backwards: late/stale frames
+			} else {
+				seq[unit] += delta
+			}
+			units[unit] = true
+			if err := c.Offer(typ, unit, seq[unit], row); err != nil {
+				t.Fatalf("offer %d: %v", i, err)
+			}
+			if i%13 == 0 {
+				st := c.Stats()
+				if sum := 2*st.Paired + st.OrphanSensors + st.OrphanActuators + st.Duplicates + st.Stale + st.Outliers + st.PendingFrames; st.Frames != sum {
+					t.Fatalf("conservation violated mid-run: frames=%d sum=%d (%+v)", st.Frames, sum, st)
+				}
+				if st.PendingFrames > uint64(len(units))*window*2 {
+					t.Fatalf("unbounded memory: %d pending frames for %d units (%+v)", st.PendingFrames, len(units), st)
+				}
+			}
+		}
+		if err := c.Close(); err != nil {
+			t.Fatal(err)
+		}
+		st := c.Stats()
+		if st.PendingFrames != 0 || st.PendingSteps != 0 {
+			t.Fatalf("pending after close: %+v", st)
+		}
+		if sum := 2*st.Paired + st.OrphanSensors + st.OrphanActuators + st.Duplicates + st.Stale + st.Outliers; st.Frames != sum {
+			t.Fatalf("conservation violated after close: frames=%d sum=%d (%+v)", st.Frames, sum, st)
+		}
+	})
+}

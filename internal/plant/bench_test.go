@@ -1,0 +1,61 @@
+package plant
+
+import (
+	"testing"
+)
+
+// newStreamingRun builds a retention-free tapped run — the fleet/streaming
+// configuration whose per-step allocation floor the trim targets.
+func newStreamingRun(t testing.TB) *Run {
+	t.Helper()
+	run, err := testTemplate(t).NewRun(RunConfig{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run.Views().SetRetain(false)
+	run.Views().SetTap(func(int, []float64, []float64) error { return nil })
+	return run
+}
+
+// TestRunStepAllocations asserts the simulation-side allocation floor: a
+// steady-state closed-loop step in streaming mode (retention off, rows
+// delivered through the tap) must not allocate — the measurement sample,
+// both fieldbus deliveries and the controller command block all reuse
+// per-run scratch.
+func TestRunStepAllocations(t *testing.T) {
+	run := newStreamingRun(t)
+	// Warm up the run's scratch and the process internals.
+	for i := 0; i < 32; i++ {
+		if err := run.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		if err := run.Step(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("streaming Step allocates %.2f times per sample, want 0", avg)
+	}
+}
+
+// BenchmarkRunStep measures the raw closed-loop simulation rate — the
+// producer side every streaming experiment and fleet campaign pays per
+// observation.
+func BenchmarkRunStep(b *testing.B) {
+	run := newStreamingRun(b)
+	var rows int
+	run.Views().SetTap(func(int, []float64, []float64) error { rows++; return nil })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if rows == 0 {
+		b.Fatal("tap never saw a row")
+	}
+}

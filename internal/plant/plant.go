@@ -88,8 +88,10 @@ func NewTemplate(cfg Config) (*Template, error) {
 	// they are re-armed before the template is used.
 	proc.SetInterlocks(false)
 	defer proc.SetInterlocks(true)
+	measBuf := make([]float64, te.NumXMEAS)
+	cmdBuf := make([]float64, te.NumXMV)
 	for i := 0; i < steps; i++ {
-		cmds, err := ctrl.Step(proc.Measurements(), dt)
+		cmds, err := ctrl.StepInto(proc.MeasurementsInto(measBuf), dt, cmdBuf)
 		if err != nil {
 			return nil, fmt.Errorf("plant: warmup control: %w", err)
 		}
@@ -179,6 +181,12 @@ type Run struct {
 	// Drift scratch: aged copies of the four recorded blocks, so the
 	// control loop's own slices are never mutated.
 	agedCX, agedCM, agedPX, agedPM []float64
+
+	// Per-step scratch for the closed-loop blocks (measurement sample,
+	// link deliveries, controller commands): the loop reuses them every
+	// sample, so steady-state stepping performs no allocation. The
+	// historian copies what it retains, so reuse is safe.
+	measBuf, sensBuf, cmdBuf, actBuf []float64
 }
 
 // NewRun clones the template into a fresh run.
@@ -231,6 +239,10 @@ func (t *Template) NewRun(cfg RunConfig) (*Run, error) {
 		r.agedCM = make([]float64, te.NumXMV)
 		r.agedPM = make([]float64, te.NumXMV)
 	}
+	r.measBuf = make([]float64, te.NumXMEAS)
+	r.sensBuf = make([]float64, te.NumXMEAS)
+	r.cmdBuf = make([]float64, te.NumXMV)
+	r.actBuf = make([]float64, te.NumXMV)
 	// The attacker sits on the fieldbus: taps rewrite frames in transit.
 	r.link.SetSensorTap(func(f *fieldbus.Frame) {
 		r.sens.Apply(f.Values, r.proc.Hours())
@@ -259,16 +271,16 @@ func (r *Run) Step() error {
 		}
 	}
 
-	procXMEAS := r.proc.Measurements()
-	ctrlXMEAS, err := r.link.SendSensors(procXMEAS)
+	procXMEAS := r.proc.MeasurementsInto(r.measBuf)
+	ctrlXMEAS, err := r.link.SendSensorsInto(procXMEAS, r.sensBuf)
 	if err != nil {
 		return fmt.Errorf("plant: sensor link: %w", err)
 	}
-	ctrlXMV, err := r.ctrl.Step(ctrlXMEAS, r.dt)
+	ctrlXMV, err := r.ctrl.StepInto(ctrlXMEAS, r.dt, r.cmdBuf)
 	if err != nil {
 		return fmt.Errorf("plant: control: %w", err)
 	}
-	procXMV, err := r.link.SendActuators(ctrlXMV)
+	procXMV, err := r.link.SendActuatorsInto(ctrlXMV, r.actBuf)
 	if err != nil {
 		return fmt.Errorf("plant: actuator link: %w", err)
 	}

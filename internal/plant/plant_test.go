@@ -18,7 +18,7 @@ var (
 	tmplErr  error
 )
 
-func testTemplate(t *testing.T) *Template {
+func testTemplate(t testing.TB) *Template {
 	t.Helper()
 	tmplOnce.Do(func() {
 		tmpl, tmplErr = NewTemplate(Config{StepSeconds: 4.5, WarmupHours: 60})

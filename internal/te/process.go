@@ -957,9 +957,21 @@ func (p *Process) XMVs() []float64 {
 // Measurements returns a copy of the current (noisy) XMEAS vector, sampled
 // once per Step.
 func (p *Process) Measurements() []float64 {
-	out := make([]float64, NumXMEAS)
-	copy(out, p.meas[:])
-	return out
+	return p.MeasurementsInto(nil)
+}
+
+// MeasurementsInto copies the current (noisy) XMEAS vector into dst when
+// its capacity suffices, otherwise into a fresh slice — the
+// allocation-free path for per-step control loops. It returns the filled
+// slice.
+func (p *Process) MeasurementsInto(dst []float64) []float64 {
+	if cap(dst) >= NumXMEAS {
+		dst = dst[:NumXMEAS]
+	} else {
+		dst = make([]float64, NumXMEAS)
+	}
+	copy(dst, p.meas[:])
+	return dst
 }
 
 // TrueMeasurements returns a copy of the noiseless XMEAS vector.

@@ -1,0 +1,393 @@
+package pcsmon_test
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/core"
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+)
+
+// pairingTestSystem calibrates a small synthetic system (milliseconds, not
+// the plant-simulation lab) for the pairing facade tests.
+func pairingTestSystem(tb testing.TB) *pcsmon.System {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(99))
+	d, err := dataset.New(historian.VarNames())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < 600; i++ {
+		z := rng.NormFloat64()
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			row[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		if err := d.Append(row); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	sys, err := core.Calibrate(d, core.Config{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return sys
+}
+
+// pairingRows generates one unit's paired stream with the calibration's
+// latent structure: from row shiftFrom, the controller view of channel
+// shiftCh moves by -delta and the process view by +delta (delta 0 = NOC).
+func pairingRows(seed int64, n, shiftCh, shiftFrom int, delta float64) (ctrl, proc [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	m := historian.NumVars
+	w := make([]float64, m)
+	wr := rand.New(rand.NewSource(99))
+	for j := range w {
+		w[j] = wr.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64()
+		c := make([]float64, m)
+		for j := 0; j < m; j++ {
+			c[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		p := append([]float64(nil), c...)
+		if delta != 0 && i >= shiftFrom {
+			c[shiftCh] -= delta
+			p[shiftCh] += delta
+		}
+		ctrl = append(ctrl, c)
+		proc = append(proc, p)
+	}
+	return ctrl, proc
+}
+
+// pairingFleet builds a fleet plus a drained event collector.
+func pairingFleet(t *testing.T, sys *pcsmon.System) (*pcsmon.Fleet, func() []pcsmon.FleetEvent) {
+	t.Helper()
+	fl, err := pcsmon.NewFleet(sys, pcsmon.FleetOptions{Workers: 2, EmitEvery: -1, Sample: 9 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []pcsmon.FleetEvent
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ev := range fl.Events() {
+			mu.Lock()
+			events = append(events, ev)
+			mu.Unlock()
+		}
+	}()
+	return fl, func() []pcsmon.FleetEvent {
+		if err := fl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		mu.Lock()
+		defer mu.Unlock()
+		return events
+	}
+}
+
+// TestPairingIngestTwoView: the full live path — interleaved sensor and
+// actuator frames of three units (one quiet, one with cross-view
+// divergence, one with a mid-stream actuator blackout) through the pairing
+// ingest into the fleet. The diverging unit must be classified as an
+// integrity attack, the blacked-out one as DoS with a ViewStalled event,
+// and the quiet one as normal.
+func TestPairingIngestTwoView(t *testing.T) {
+	sys := pairingTestSystem(t)
+	fl, finish := pairingFleet(t, sys)
+	const (
+		rows  = 260
+		onset = 130
+	)
+	var (
+		pairMu   sync.Mutex
+		pairEvs  []pcsmon.FleetEvent
+		attached []string
+	)
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{
+		Window:     16,
+		StallAfter: 8,
+		Onset:      onset,
+		OnAttach:   func(plant string) { attached = append(attached, plant) },
+	}, func(ev pcsmon.FleetEvent) {
+		pairMu.Lock()
+		pairEvs = append(pairEvs, ev)
+		pairMu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl0, proc0 := pairingRows(11, rows, 0, onset, 0)  // quiet
+	ctrl1, proc1 := pairingRows(12, rows, 0, onset, 25) // cross-view divergence
+	ctrl2, proc2 := pairingRows(13, rows, 5, onset, 0)  // quiet data...
+	for i := onset; i < rows; i++ {
+		ctrl2[i][5] += 25 // ...but the plant moves while the actuator view is dark
+	}
+
+	for i := 0; i < rows; i++ {
+		seq := uint64(i)
+		for u, views := range map[uint8][2][][]float64{
+			0: {ctrl0, proc0}, 1: {ctrl1, proc1}, 2: {ctrl2, proc2},
+		} {
+			if err := pi.OfferSensor(u, seq, views[0][i]); err != nil {
+				t.Fatal(err)
+			}
+			blackout := u == 2 && i >= onset
+			if !blackout {
+				if err := pi.OfferActuator(u, seq, views[1][i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := pi.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pi.Plants(); len(got) != 3 || len(attached) != 3 {
+		t.Fatalf("plants %v, attach callbacks %v", got, attached)
+	}
+
+	verdicts := map[string]pcsmon.Verdict{}
+	reports := map[string]*pcsmon.Report{}
+	for _, id := range pi.Plants() {
+		rep, err := fl.Detach(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verdicts[id] = rep.Verdict
+		reports[id] = rep
+	}
+	finish()
+
+	if v := verdicts[pcsmon.PlantID(0)]; v != pcsmon.VerdictNormal {
+		t.Errorf("quiet unit verdict %v", v)
+	}
+	if v := verdicts[pcsmon.PlantID(1)]; v != pcsmon.VerdictIntegrityAttack {
+		t.Errorf("diverging unit verdict %v (%s)", v, reports[pcsmon.PlantID(1)].Explanation)
+	}
+	if v := verdicts[pcsmon.PlantID(2)]; v != pcsmon.VerdictDoS {
+		t.Errorf("blackout unit verdict %v (%s) — want DoS-consistent, not silent single-view monitoring",
+			v, reports[pcsmon.PlantID(2)].Explanation)
+	}
+
+	pairMu.Lock()
+	defer pairMu.Unlock()
+	var stalls, heldDrops int
+	for _, ev := range pairEvs {
+		switch e := ev.Event.(type) {
+		case pcsmon.ViewStalled:
+			stalls++
+			if e.Unit != 2 || e.View != "actuator" || ev.Plant != pcsmon.PlantID(2) {
+				t.Errorf("stall event %+v (plant %s)", e, ev.Plant)
+			}
+		case pcsmon.PairDropped:
+			if e.Held {
+				heldDrops++
+				if e.Unit != 2 || e.Kind != "orphan-sensor" {
+					t.Errorf("held drop %+v", e)
+				}
+			}
+		}
+	}
+	if stalls != 1 {
+		t.Errorf("%d ViewStalled events, want 1", stalls)
+	}
+	if heldDrops != rows-onset {
+		t.Errorf("%d held-orphan events, want %d", heldDrops, rows-onset)
+	}
+
+	st := pi.Stats()
+	if st.Units != 3 || st.Stalls != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if sum := 2*st.Paired + st.OrphanSensors + st.OrphanActuators + st.Duplicates + st.Stale + st.Outliers + st.PendingFrames; st.Frames != sum {
+		t.Errorf("frame conservation: %+v", st)
+	}
+}
+
+// TestPairingIngestParity: frames through the pairing ingest must produce
+// a report bit-identical to the same rows pushed straight into the fleet —
+// even when the frame stream is skewed, bursty and duplicated.
+func TestPairingIngestParity(t *testing.T) {
+	sys := pairingTestSystem(t)
+	const (
+		rows  = 220
+		onset = 110
+	)
+	ctrl, proc := pairingRows(21, rows, 3, onset, 20)
+
+	direct, finishDirect := pairingFleet(t, sys)
+	if err := direct.Attach("unit-000", onset); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i++ {
+		if err := direct.Push("unit-000", ctrl[i], proc[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := direct.Detach("unit-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finishDirect()
+
+	paired, finishPaired := pairingFleet(t, sys)
+	pi, err := paired.NewPairingIngest(pcsmon.PairingOptions{Window: 32, Onset: onset}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial but window-bounded interleaving: the actuator view runs
+	// 5 observations behind, frames inside each 8-obs burst are reversed,
+	// and every 7th frame is duplicated.
+	type fr struct {
+		typ fieldbus.FrameType
+		seq uint64
+	}
+	var frames []fr
+	for i := 0; i < rows; i++ {
+		frames = append(frames, fr{fieldbus.FrameSensor, uint64(i)})
+		if i >= 5 {
+			frames = append(frames, fr{fieldbus.FrameActuator, uint64(i - 5)})
+		}
+	}
+	for i := rows - 5; i < rows; i++ {
+		frames = append(frames, fr{fieldbus.FrameActuator, uint64(i)})
+	}
+	for start := 0; start < len(frames); start += 8 {
+		end := start + 8
+		if end > len(frames) {
+			end = len(frames)
+		}
+		sub := frames[start:end]
+		for l, r := 0, len(sub)-1; l < r; l, r = l+1, r-1 {
+			sub[l], sub[r] = sub[r], sub[l]
+		}
+	}
+	offerOne := func(f fr) error {
+		if f.typ == fieldbus.FrameSensor {
+			return pi.OfferSensor(0, f.seq, ctrl[f.seq])
+		}
+		return pi.OfferActuator(0, f.seq, proc[f.seq])
+	}
+	for i, f := range frames {
+		if err := offerOne(f); err != nil {
+			t.Fatal(err)
+		}
+		if i%7 == 0 {
+			if err := offerOne(f); err != nil { // duplicate flood
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := pi.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := pi.Stats()
+	if st.Paired != rows {
+		t.Fatalf("reordered replay lost pairings: %+v", st)
+	}
+	if st.Duplicates+st.Stale == 0 {
+		t.Fatalf("duplicate flood unaccounted: %+v", st)
+	}
+	rep, err := paired.Detach("unit-000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	finishPaired()
+
+	if !reflect.DeepEqual(rep, golden) {
+		t.Errorf("paired-ingest report differs from direct push:\npaired: %+v\ndirect: %+v", rep, golden)
+	}
+	if golden.Verdict != pcsmon.VerdictIntegrityAttack {
+		t.Errorf("golden verdict %v (%s)", golden.Verdict, golden.Explanation)
+	}
+}
+
+// TestPairingIngestBytes: the wire-bytes entry point decodes and pairs
+// marshalled frames.
+func TestPairingIngestBytes(t *testing.T) {
+	sys := pairingTestSystem(t)
+	fl, finish := pairingFleet(t, sys)
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, proc := pairingRows(31, 40, 0, 0, 0)
+	var buf []byte
+	for i := 0; i < 40; i++ {
+		for _, f := range []fieldbus.Frame{
+			{Type: fieldbus.FrameSensor, Unit: 9, Seq: uint64(i), Values: ctrl[i]},
+			{Type: fieldbus.FrameActuator, Unit: 9, Seq: uint64(i), Values: proc[i]},
+		} {
+			if buf, err = f.MarshalTo(buf); err != nil {
+				t.Fatal(err)
+			}
+			if err := pi.OfferBytes(buf); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := pi.OfferBytes([]byte{1, 2, 3}); err == nil {
+		t.Error("malformed bytes accepted")
+	}
+	if err := pi.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := pi.Stats(); st.Paired != 40 || st.Units != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	rep, err := fl.Detach(pcsmon.PlantID(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish()
+	if rep.Verdict != pcsmon.VerdictNormal {
+		t.Errorf("verdict %v", rep.Verdict)
+	}
+}
+
+// TestPairingIngestValidation: bad options and closed ingests are
+// rejected.
+func TestPairingIngestValidation(t *testing.T) {
+	sys := pairingTestSystem(t)
+	fl, finish := pairingFleet(t, sys)
+	defer finish()
+	for _, opts := range []pcsmon.PairingOptions{
+		{Window: -1},
+		{Timeout: -time.Second},
+		{Onset: -1},
+	} {
+		if _, err := fl.NewPairingIngest(opts, nil); !errors.Is(err, pcsmon.ErrBadConfig) {
+			t.Errorf("%+v: want ErrBadConfig, got %v", opts, err)
+		}
+	}
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pi.Close(); err != nil {
+		t.Fatal(err)
+	}
+	row := make([]float64, historian.NumVars)
+	if err := pi.OfferSensor(0, 0, row); err == nil {
+		t.Error("offer after close accepted")
+	}
+}
