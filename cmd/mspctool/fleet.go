@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"sort"
 	"strconv"
 	"sync"
@@ -19,7 +20,7 @@ import (
 // runFleet implements the fleet subcommand: one calibrated model scoring
 // many interleaved plant streams through the sharded fleet pool.
 //
-// Two ingestion modes share the demux-into-pool path:
+// Three ingestion modes share the demux-into-pool path:
 //
 //   - CSV (default): stdin carries interleaved rows "plant,<53 vars>" —
 //     the first column keys the stream, the rest is a single-view
@@ -36,6 +37,16 @@ import (
 //     monitoring. Sensor-only feeds keep working as single-view streams.
 //     The listener stops after -max-obs observations (distinct (unit,
 //     seq) pairs seen) or -idle without traffic.
+//   - UDP (-listen-udp): a fieldbus.UDPServer receives one frame per
+//     datagram on the given address — the genuinely lossy transport. The
+//     same pairing ingest turns whatever the network loses, reorders or
+//     duplicates into typed accounting; a corrupt datagram is counted and
+//     dropped without touching the healthy stream. Both listeners may run
+//     at once (two taps, one correlator).
+//
+// With -record, every frame any listener receives is appended to a capture
+// file (see internal/fieldbus capture format) for later analysis or
+// `mspctool replay`.
 //
 // Plants attach lazily on first sight; at end of input every stream is
 // detached and its classified report summarized, followed by the pool's
@@ -52,18 +63,23 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		adaptEvery  = fs.Int("adapt-every", 0, "refit the shared model every N in-control observations (0 = frozen model)")
 		adaptForget = fs.Float64("adapt-forget", 0, "EWMA forget factor in (0,1] for adaptive refits (0 = default 0.999)")
 		listen      = fs.String("listen", "", "accept fieldbus frames on this TCP address instead of reading CSV from stdin")
-		maxObs      = fs.Int64("max-obs", 0, "TCP mode: stop after this many observations (0 = rely on -idle)")
-		idle        = fs.Duration("idle", 5*time.Second, "TCP mode: stop after this long without traffic")
-		pairWindow  = fs.Int("pair-window", 64, "TCP mode: reorder window for sensor/actuator frame pairing, in sequence numbers")
-		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "TCP mode: flush observations whose mate frame is this late (0 = never)")
+		listenUDP   = fs.String("listen-udp", "", "accept one fieldbus frame per datagram on this UDP address (lossy transport)")
+		record      = fs.String("record", "", "live mode: append every received frame to this capture file (replay with `mspctool replay`)")
+		maxObs      = fs.Int64("max-obs", 0, "live mode: stop after this many observations (0 = rely on -idle)")
+		idle        = fs.Duration("idle", 5*time.Second, "live mode: stop after this long without traffic")
+		pairWindow  = fs.Int("pair-window", 64, "live mode: reorder window for sensor/actuator frame pairing, in sequence numbers")
+		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "live mode: flush observations whose mate frame is this late (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The event printer goroutine and the ingest paths write concurrently.
+	out = &syncWriter{w: out}
 	if *calPath == "" {
 		fs.Usage()
 		return fmt.Errorf("mspctool fleet: -cal is required: %w", pcsmon.ErrBadConfig)
 	}
+	live := *listen != "" || *listenUDP != ""
 	// Validate every flag combination up front (wrapped ErrBadConfig, the
 	// scenario-package style) so a bad invocation fails before calibration
 	// instead of panicking mid-stream or silently ignoring flags.
@@ -84,8 +100,8 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("mspctool fleet: -pair-window %d must be positive: %w", *pairWindow, pcsmon.ErrBadConfig)
 	case *pairTimeout < 0:
 		return fmt.Errorf("mspctool fleet: -pair-timeout %v must be >= 0: %w", *pairTimeout, pcsmon.ErrBadConfig)
-	case *listen == "" && tcpFlagSet(fs):
-		return fmt.Errorf("mspctool fleet: -max-obs/-idle/-pair-window/-pair-timeout only apply with -listen: %w", pcsmon.ErrBadConfig)
+	case !live && liveFlagSet(fs):
+		return fmt.Errorf("mspctool fleet: -record/-max-obs/-idle/-pair-window/-pair-timeout only apply with -listen/-listen-udp: %w", pcsmon.ErrBadConfig)
 	}
 	adaptive, err := adaptiveFlags(fs, "mspctool fleet", *adaptEvery, *adaptForget)
 	if err != nil {
@@ -106,36 +122,14 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		return err
 	}
 
-	// Event printer: the single consumer of the fan-in channel.
-	reports := map[string]*pcsmon.Report{}
-	samples := map[string]int{}
-	drained := make(chan struct{})
-	go func() {
-		defer close(drained)
-		for ev := range fl.Events() {
-			switch e := ev.Event.(type) {
-			case pcsmon.SampleScored:
-				if *every > 0 {
-					fmt.Fprintf(out, "[%s] obs %6d  ctrl D=%8.2f Q=%8.2f\n",
-						ev.Plant, e.Index, e.CtrlD, e.CtrlQ)
-				}
-			case pcsmon.AlarmRaised:
-				fmt.Fprintf(out, "ALARM [%s/%s] at obs %d (run start %d, charts %v)\n",
-					ev.Plant, e.View, e.Index, e.RunStart, e.Charts)
-			case pcsmon.ModelSwapped:
-				fmt.Fprintf(out, "MODEL SWAP [%s] at obs %d -> generation %d (D99=%.2f Q99=%.2f)\n",
-					ev.Plant, e.Index, e.Generation, e.D99, e.Q99)
-			case pcsmon.VerdictReady:
-				reports[ev.Plant] = e.Report
-				samples[ev.Plant] = e.Samples
-			}
-		}
-	}()
+	printer := startFleetPrinter(fl, *every, out)
 
 	var ids []string
-	if *listen != "" {
-		ids, err = serveFleetTCP(fl, tcpConfig{
-			addr:        *listen,
+	if live {
+		ids, err = serveFleetLive(fl, liveConfig{
+			tcpAddr:     *listen,
+			udpAddr:     *listenUDP,
+			record:      *record,
 			maxObs:      *maxObs,
 			idle:        *idle,
 			pairWindow:  *pairWindow,
@@ -163,7 +157,7 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 	}
 	if err != nil {
 		_ = fl.Close()
-		<-drained
+		printer.wait()
 		return err
 	}
 
@@ -172,7 +166,7 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 	for _, id := range ids {
 		if _, err := fl.Detach(id); err != nil {
 			_ = fl.Close()
-			<-drained
+			printer.wait()
 			return err
 		}
 	}
@@ -180,36 +174,106 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 	if err := fl.Close(); err != nil {
 		return err
 	}
-	<-drained
+	printer.wait()
 
-	fmt.Fprintln(out)
-	for _, id := range ids {
-		rep := reports[id]
-		if rep == nil {
-			fmt.Fprintf(out, "plant %s: no verdict\n", id)
-			continue
-		}
-		fmt.Fprintf(out, "plant %s: %s after %d observations", id, rep.Verdict, samples[id])
-		if rep.AttackedVar >= 0 {
-			fmt.Fprintf(out, " (channel %s)", historian.VarName(rep.AttackedVar))
-		}
-		fmt.Fprintf(out, "\n  %s\n", rep.Explanation)
-	}
+	printPlantReports(out, ids, printer)
 	fmt.Fprintf(out, "\nfleet: %d plants, %d observations, %d alarms, %.0f obs/sec\n",
 		stats.Attached, stats.Observations, stats.Alarms, stats.ObsPerSec)
 	return nil
 }
 
-// tcpFlagSet reports whether a TCP-mode-only flag was given explicitly.
-func tcpFlagSet(fs *flag.FlagSet) bool {
+// syncWriter serializes writes to the command's output: the fleet
+// printer goroutine and the ingest callbacks (attach lines, view stalls)
+// write concurrently, and the caller's writer need not be thread-safe.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// printPairingSummary renders the end-of-stream pairing accounting — one
+// format shared by the fleet and replay subcommands.
+func printPairingSummary(out io.Writer, st pcsmon.PairingStats) {
+	fmt.Fprintf(out, "pairing: %d frames -> %d paired, %d orphaned (%d sensor / %d actuator), %d gap obs, %d dup, %d stale, %d outlier, %d view stalls (loss rate %.2f%%)\n",
+		st.Frames, st.Paired, st.OrphanSensors+st.OrphanActuators, st.OrphanSensors, st.OrphanActuators,
+		st.GapSeqs, st.Duplicates, st.Stale, st.Outliers, st.Stalls, 100*st.LossRate())
+}
+
+// liveFlagSet reports whether a live-mode-only flag was given explicitly.
+func liveFlagSet(fs *flag.FlagSet) bool {
 	set := false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "max-obs", "idle", "pair-window", "pair-timeout":
+		case "record", "max-obs", "idle", "pair-window", "pair-timeout":
 			set = true
 		}
 	})
 	return set
+}
+
+// fleetPrinter is the single consumer of a fleet's fan-in event channel:
+// it prints live events and holds the per-plant verdicts for the final
+// summary. Shared by the fleet and replay subcommands.
+type fleetPrinter struct {
+	reports map[string]*pcsmon.Report
+	samples map[string]int
+	drained chan struct{}
+}
+
+// startFleetPrinter spawns the consumer goroutine; call wait after the
+// fleet is closed.
+func startFleetPrinter(fl *pcsmon.Fleet, every int, out io.Writer) *fleetPrinter {
+	p := &fleetPrinter{
+		reports: map[string]*pcsmon.Report{},
+		samples: map[string]int{},
+		drained: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.drained)
+		for ev := range fl.Events() {
+			switch e := ev.Event.(type) {
+			case pcsmon.SampleScored:
+				if every > 0 {
+					fmt.Fprintf(out, "[%s] obs %6d  ctrl D=%8.2f Q=%8.2f\n",
+						ev.Plant, e.Index, e.CtrlD, e.CtrlQ)
+				}
+			case pcsmon.AlarmRaised:
+				fmt.Fprintf(out, "ALARM [%s/%s] at obs %d (run start %d, charts %v)\n",
+					ev.Plant, e.View, e.Index, e.RunStart, e.Charts)
+			case pcsmon.ModelSwapped:
+				fmt.Fprintf(out, "MODEL SWAP [%s] at obs %d -> generation %d (D99=%.2f Q99=%.2f)\n",
+					ev.Plant, e.Index, e.Generation, e.D99, e.Q99)
+			case pcsmon.VerdictReady:
+				p.reports[ev.Plant] = e.Report
+				p.samples[ev.Plant] = e.Samples
+			}
+		}
+	}()
+	return p
+}
+
+func (p *fleetPrinter) wait() { <-p.drained }
+
+// printPlantReports summarizes every detached plant's classified report.
+func printPlantReports(out io.Writer, ids []string, p *fleetPrinter) {
+	fmt.Fprintln(out)
+	for _, id := range ids {
+		rep := p.reports[id]
+		if rep == nil {
+			fmt.Fprintf(out, "plant %s: no verdict\n", id)
+			continue
+		}
+		fmt.Fprintf(out, "plant %s: %s after %d observations", id, rep.Verdict, p.samples[id])
+		if rep.AttackedVar >= 0 {
+			fmt.Fprintf(out, " (channel %s)", historian.VarName(rep.AttackedVar))
+		}
+		fmt.Fprintf(out, "\n  %s\n", rep.Explanation)
+	}
 }
 
 // demuxFleetCSV reads interleaved "plant,<53 vars>" rows and routes each
@@ -253,9 +317,11 @@ func demuxFleetCSV(in io.Reader, feed func(plant string, row []float64) error) e
 	}
 }
 
-// tcpConfig bundles the TCP-mode parameters of serveFleetTCP.
-type tcpConfig struct {
-	addr        string
+// liveConfig bundles the live-mode parameters of serveFleetLive.
+type liveConfig struct {
+	tcpAddr     string // TCP listener ("" = disabled)
+	udpAddr     string // UDP listener ("" = disabled)
+	record      string // capture file path ("" = no recording)
 	maxObs      int64
 	idle        time.Duration
 	pairWindow  int
@@ -263,14 +329,15 @@ type tcpConfig struct {
 	onset       int
 }
 
-// serveFleetTCP accepts fieldbus frames and routes each full-width frame
-// through the two-view pairing ingest into the fleet: sensor frames carry
-// controller-view rows, actuator frames process-view rows, joined by
-// (unit, seq) into plant "unit-<Unit>". It returns the attached plant ids
-// once maxObs observations have been seen (when set) or no traffic has
-// arrived for the idle duration — counted from startup, so a listener
-// nobody connects to also terminates.
-func serveFleetTCP(fl *pcsmon.Fleet, cfg tcpConfig, out io.Writer) ([]string, error) {
+// serveFleetLive accepts fieldbus frames over TCP and/or UDP and routes
+// each full-width frame through the two-view pairing ingest into the
+// fleet: sensor frames carry controller-view rows, actuator frames
+// process-view rows, joined by (unit, seq) into plant "unit-<Unit>". With
+// recording enabled, every received frame is also appended to the capture
+// file. It returns the attached plant ids once maxObs observations have
+// been seen (when set) or no traffic has arrived for the idle duration —
+// counted from startup, so a listener nobody connects to also terminates.
+func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, error) {
 	var (
 		mu       sync.Mutex // serializes output + the sticky ingest error
 		feedErr  error
@@ -280,6 +347,14 @@ func serveFleetTCP(fl *pcsmon.Fleet, cfg tcpConfig, out io.Writer) ([]string, er
 	done := make(chan struct{})
 	var closeOnce sync.Once
 	finish := func() { closeOnce.Do(func() { close(done) }) }
+	fail := func(err error) {
+		mu.Lock()
+		if feedErr == nil && err != nil {
+			feedErr = err
+		}
+		mu.Unlock()
+		finish()
+	}
 	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{
 		Window:  cfg.pairWindow,
 		Timeout: cfg.pairTimeout,
@@ -302,18 +377,72 @@ func serveFleetTCP(fl *pcsmon.Fleet, cfg tcpConfig, out io.Writer) ([]string, er
 	if err != nil {
 		return nil, err
 	}
-	srv, err := fieldbus.NewServer(cfg.addr, func(f *fieldbus.Frame) {
-		if len(f.Values) != historian.NumVars {
-			return // not a historian observation frame
+
+	// Optional capture recorder: one writer, shared by every listener's
+	// receive goroutine. It writes to a sibling .tmp file that is renamed
+	// into place on completion — a failed startup (bad listen address)
+	// must not destroy an existing capture at the target path, and a
+	// half-written file is clearly marked as such.
+	var (
+		recMu   sync.Mutex
+		rec     *fieldbus.CaptureWriter
+		recFile *os.File
+		recTmp  string
+	)
+	if cfg.record != "" {
+		recTmp = cfg.record + ".tmp"
+		recFile, err = os.Create(recTmp)
+		if err != nil {
+			return nil, fmt.Errorf("mspctool fleet: -record: %w", err)
 		}
-		var offerErr error
-		switch f.Type {
-		case fieldbus.FrameSensor:
-			offerErr = pi.OfferSensor(f.Unit, f.Seq, f.Values)
-		case fieldbus.FrameActuator:
-			offerErr = pi.OfferActuator(f.Unit, f.Seq, f.Values)
-		default:
-			return // only observation frames count as traffic for -idle
+		rec, err = fieldbus.NewCaptureWriter(recFile)
+		if err != nil {
+			_ = recFile.Close()
+			_ = os.Remove(recTmp)
+			return nil, err
+		}
+	}
+	// abandonRec discards the half-made recording on startup failures;
+	// finalizeRec lands it — flush, close, rename — and runs even when
+	// ingestion failed, so the post-mortem data survives.
+	abandonRec := func() {
+		if rec != nil {
+			_ = recFile.Close()
+			_ = os.Remove(recTmp)
+		}
+	}
+	finalizeRec := func() error {
+		if rec == nil {
+			return nil
+		}
+		if err := rec.Flush(); err != nil {
+			return err
+		}
+		if err := recFile.Close(); err != nil {
+			return fmt.Errorf("mspctool fleet: -record: %w", err)
+		}
+		if err := os.Rename(recTmp, cfg.record); err != nil {
+			return fmt.Errorf("mspctool fleet: -record: %w", err)
+		}
+		return nil
+	}
+
+	// ingest is the shared frame handler behind both transports. The frame
+	// is the listener's scratch — everything that outlives the call (the
+	// pairing offer, the capture record) copies or encodes it inline.
+	ingest := func(f *fieldbus.Frame) {
+		if rec != nil {
+			recMu.Lock()
+			err := rec.Record(f)
+			recMu.Unlock()
+			if err != nil {
+				fail(err)
+				return
+			}
+		}
+		offered, offerErr := pi.OfferFrame(f)
+		if !offered && offerErr == nil {
+			return // non-observation frame; doesn't count as traffic for -idle
 		}
 		lastSeen.Store(time.Now().UnixNano())
 		mu.Lock()
@@ -325,14 +454,32 @@ func serveFleetTCP(fl *pcsmon.Fleet, cfg tcpConfig, out io.Writer) ([]string, er
 		if failed || (cfg.maxObs > 0 && int64(pi.StepCount()) >= cfg.maxObs) {
 			finish()
 		}
-	})
-	if err != nil {
-		return nil, err
 	}
-	defer func() { _ = srv.Close() }()
-	mu.Lock()
-	fmt.Fprintf(out, "listening on %s\n", srv.Addr())
-	mu.Unlock()
+
+	var tcpSrv *fieldbus.Server
+	if cfg.tcpAddr != "" {
+		tcpSrv, err = fieldbus.NewServer(cfg.tcpAddr, ingest)
+		if err != nil {
+			abandonRec()
+			return nil, err
+		}
+		defer func() { _ = tcpSrv.Close() }()
+		mu.Lock()
+		fmt.Fprintf(out, "listening on %s\n", tcpSrv.Addr())
+		mu.Unlock()
+	}
+	var udpSrv *fieldbus.UDPServer
+	if cfg.udpAddr != "" {
+		udpSrv, err = fieldbus.NewUDPServer(cfg.udpAddr, ingest)
+		if err != nil {
+			abandonRec()
+			return nil, err
+		}
+		defer func() { _ = udpSrv.Close() }()
+		mu.Lock()
+		fmt.Fprintf(out, "listening on udp://%s\n", udpSrv.Addr())
+		mu.Unlock()
+	}
 
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
@@ -371,13 +518,24 @@ func serveFleetTCP(fl *pcsmon.Fleet, cfg tcpConfig, out io.Writer) ([]string, er
 			}
 		}
 	}
-	// Stop the listener before the final flush so no connection goroutine
+	// Stop the listeners before the final flush so no receive goroutine
 	// races the drain. mu must NOT be held across Flush: the flush emits
 	// outcomes, and their OnAttach/ViewStalled callbacks lock mu to print.
-	_ = srv.Close()
+	if tcpSrv != nil {
+		_ = tcpSrv.Close()
+	}
+	if udpSrv != nil {
+		_ = udpSrv.Close()
+	}
 	mu.Lock()
 	err = feedErr
 	mu.Unlock()
+	// The recording lands even when ingestion failed: a capture of the
+	// traffic that led up to the failure is the post-mortem -record
+	// exists for.
+	if ferr := finalizeRec(); err == nil {
+		err = ferr
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -386,9 +544,14 @@ func serveFleetTCP(fl *pcsmon.Fleet, cfg tcpConfig, out io.Writer) ([]string, er
 	}
 	st := pi.Stats()
 	mu.Lock()
-	fmt.Fprintf(out, "pairing: %d frames -> %d paired, %d orphaned (%d sensor / %d actuator), %d gap obs, %d dup, %d stale, %d outlier, %d view stalls\n",
-		st.Frames, st.Paired, st.OrphanSensors+st.OrphanActuators, st.OrphanSensors, st.OrphanActuators,
-		st.GapSeqs, st.Duplicates, st.Stale, st.Outliers, st.Stalls)
+	printPairingSummary(out, st)
+	if udpSrv != nil {
+		ust := udpSrv.Stats()
+		fmt.Fprintf(out, "udp: %d datagrams received, %d corrupt dropped\n", ust.Datagrams, ust.Corrupt)
+	}
+	if rec != nil {
+		fmt.Fprintf(out, "recorded %d frames (%v span) to %s\n", rec.Frames(), rec.Span().Round(time.Millisecond), cfg.record)
+	}
 	mu.Unlock()
 	return pi.Plants(), nil
 }

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
+	"os"
 	"path/filepath"
 	"strings"
 	"sync"
@@ -477,6 +479,7 @@ func TestFleetFlagValidation(t *testing.T) {
 		{"-cal", cal, "-idle", "1s"},         // TCP-only flag without -listen
 		{"-cal", cal, "-pair-window", "16"},  // TCP-only flag without -listen
 		{"-cal", cal, "-pair-timeout", "1s"}, // TCP-only flag without -listen
+		{"-cal", cal, "-record", "x.cap"},    // live-only flag without a listener
 		{"-cal", cal, "-adapt-every", "-10"},
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "1.5"},
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "0"},
@@ -526,5 +529,284 @@ func TestFleetSubcommandAdaptive(t *testing.T) {
 	}
 	if !strings.Contains(text, "MODEL SWAP [") {
 		t.Errorf("no model swaps surfaced:\n%s", text)
+	}
+}
+
+// udpAddrOf scrapes the UDP listen address from the command's output.
+func udpAddrOf(t *testing.T, out *syncBuffer) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on udp://"); ok {
+				return rest
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("UDP listener address never printed:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestFleetSubcommandUDPTwoView: the lossy transport end to end — paired
+// sensor+actuator frames as datagrams, with duplicates and reordering
+// injected on the way (plus a burst of corrupt datagrams), still reach the
+// cross-view verdicts: the diverging unit is an integrity attack, the
+// clean unit normal, and the corrupt datagrams are counted, not fatal.
+func TestFleetSubcommandUDPTwoView(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+
+	const (
+		units = 2
+		rows  = 200
+		shift = 100
+	)
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runFleet([]string{
+			"-cal", cal,
+			"-sample", "9",
+			"-onset-hour", "0.25", // row 100 at 9 s samples
+			"-listen-udp", "127.0.0.1:0",
+			"-pair-window", "32",
+			"-pair-timeout", "500ms",
+			"-max-obs", fmt.Sprint(units * rows),
+			"-idle", "2s", // datagram loss must not hang the cap
+		}, strings.NewReader(""), &out)
+	}()
+	addr := udpAddrOf(t, &out)
+
+	cli, err := fieldbus.DialUDP(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	raw, err := net.Dial("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = raw.Close() }()
+
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	// Build the frame schedule first so reordering can be injected.
+	var frames []*fieldbus.Frame
+	for i := 0; i < rows; i++ {
+		for u := 0; u < units; u++ {
+			z := rng.NormFloat64()
+			ctrl := make([]float64, m)
+			for j := 0; j < m; j++ {
+				ctrl[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+			}
+			proc := append([]float64(nil), ctrl...)
+			if u == 1 && i >= shift {
+				ctrl[0] -= 30 // the two views disagree: a forged channel
+				proc[0] += 30
+			}
+			frames = append(frames,
+				&fieldbus.Frame{Type: fieldbus.FrameSensor, Unit: uint8(u), Seq: uint64(i + 1), Values: ctrl},
+				&fieldbus.Frame{Type: fieldbus.FrameActuator, Unit: uint8(u), Seq: uint64(i + 1), Values: proc})
+		}
+	}
+	// Reorder within 16-frame bursts (inside the 32-obs pairing window).
+	shuf := rand.New(rand.NewSource(7))
+	for start := 0; start < len(frames); start += 16 {
+		end := start + 16
+		if end > len(frames) {
+			end = len(frames)
+		}
+		sub := frames[start:end]
+		shuf.Shuffle(len(sub), func(i, j int) { sub[i], sub[j] = sub[j], sub[i] })
+	}
+	for i, f := range frames {
+		if err := cli.Send(f); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 { // duplicate injection: every 10th datagram twice
+			if err := cli.Send(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%25 == 0 { // corrupt datagram burst: counted, never fatal
+			if _, err := raw.Write([]byte("garbage datagram")); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%16 == 0 {
+			time.Sleep(300 * time.Microsecond) // loopback pacing
+		}
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet udp: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("fleet udp never finished:\n%s", out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"plant unit-000 attached",
+		"plant unit-001 attached",
+		"plant unit-000: normal",
+		"ALARM [unit-001/",
+		"plant unit-001: integrity-attack",
+		"pairing: ",
+		"udp: ",
+		"corrupt dropped",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("fleet udp output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestFleetRecordThenReplay: frames recorded from a live TCP feed replay
+// through `mspctool replay` to the same verdicts — the capture round trip
+// of the record/replay subsystem.
+func TestFleetRecordThenReplay(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	capPath := filepath.Join(dir, "live.cap")
+
+	const (
+		rows  = 200
+		shift = 100
+	)
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runFleet([]string{
+			"-cal", cal,
+			"-sample", "9",
+			"-onset-hour", "0.25",
+			"-listen", "127.0.0.1:0",
+			"-record", capPath,
+			"-max-obs", fmt.Sprint(rows),
+			"-idle", "30s",
+		}, strings.NewReader(""), &out)
+	}()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener address never printed:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok && !strings.HasPrefix(rest, "udp://") {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli, err := fieldbus.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		z := rng.NormFloat64()
+		ctrl := make([]float64, m)
+		for j := 0; j < m; j++ {
+			ctrl[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		proc := append([]float64(nil), ctrl...)
+		if i >= shift {
+			ctrl[0] -= 30
+			proc[0] += 30
+		}
+		if err := cli.Send(&fieldbus.Frame{
+			Type: fieldbus.FrameSensor, Unit: 0, Seq: uint64(i + 1), Values: ctrl,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Send(&fieldbus.Frame{
+			Type: fieldbus.FrameActuator, Unit: 0, Seq: uint64(i + 1), Values: proc,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet record: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("fleet record never finished:\n%s", out.String())
+	}
+	liveText := out.String()
+	if !strings.Contains(liveText, "plant unit-000: integrity-attack") {
+		t.Fatalf("live run verdict missing:\n%s", liveText)
+	}
+	if !strings.Contains(liveText, "recorded ") || !strings.Contains(liveText, capPath) {
+		t.Errorf("recording summary missing:\n%s", liveText)
+	}
+
+	var replayOut bytes.Buffer
+	err = runReplay([]string{
+		"-cal", cal,
+		"-capture", capPath,
+		"-speed", "0",
+		"-sample", "9",
+		"-onset-hour", "0.25",
+	}, &replayOut)
+	if err != nil {
+		t.Fatalf("replay of recording: %v\n%s", err, replayOut.String())
+	}
+	replayText := replayOut.String()
+	for _, want := range []string{
+		"plant unit-000 attached",
+		"ALARM [unit-000/",
+		"plant unit-000: integrity-attack",
+		"replay: ",
+	} {
+		if !strings.Contains(replayText, want) {
+			t.Errorf("replayed recording missing %q:\n%s", want, replayText)
+		}
+	}
+}
+
+// TestFleetRecordStartupFailureKeepsExistingCapture: -record must not
+// destroy an existing capture when the listener fails to come up — the
+// recording lands by rename, so the target is only replaced on success.
+func TestFleetRecordStartupFailureKeepsExistingCapture(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	capPath := filepath.Join(dir, "precious.cap")
+	if err := os.WriteFile(capPath, []byte("prior capture bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	err := runFleet([]string{
+		"-cal", cal,
+		"-listen", "256.256.256.256:1", // cannot bind
+		"-record", capPath,
+	}, strings.NewReader(""), &out)
+	if err == nil {
+		t.Fatal("unbindable listen address accepted")
+	}
+	got, rerr := os.ReadFile(capPath)
+	if rerr != nil || string(got) != "prior capture bytes" {
+		t.Errorf("existing capture was destroyed: %q, %v", got, rerr)
+	}
+	if _, serr := os.Stat(capPath + ".tmp"); serr == nil {
+		t.Error("abandoned .tmp recording left behind")
 	}
 }

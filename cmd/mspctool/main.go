@@ -18,13 +18,23 @@
 //	mspctool watch -cal noc-process.csv -proc live-process.csv -sample 4.5 <live-controller.csv
 //
 // The fleet subcommand scales watch to many plants at once: interleaved
-// "plant,<53 vars>" CSV rows on stdin (or length-prefixed fieldbus frames
-// on a TCP listener, keyed by the frame's unit id) are demuxed into a
-// sharded scoring pool — one calibrated model, thousands of independent
-// streams, per-plant verdicts plus aggregate throughput counters:
+// "plant,<53 vars>" CSV rows on stdin (or fieldbus frames on a TCP
+// listener and/or a lossy UDP listener, keyed by the frame's unit id) are
+// demuxed into a sharded scoring pool — one calibrated model, thousands
+// of independent streams, per-plant verdicts plus aggregate throughput
+// counters. With -record, every received frame is appended to a capture
+// file:
 //
 //	mspctool fleet -cal noc-process.csv <interleaved.csv
 //	mspctool fleet -cal noc-process.csv -listen 127.0.0.1:7700 -max-obs 100000
+//	mspctool fleet -cal noc-process.csv -listen-udp 127.0.0.1:7701 -record plant.cap
+//
+// The replay subcommand plays a capture back through the same pairing →
+// fleet path at a configurable speed-up (the capture's timestamps also
+// drive the pairing timeout, so mate-loss semantics are preserved at any
+// speed):
+//
+//	mspctool replay -cal noc-process.csv -capture plant.cap -speed 100
 package main
 
 import (
@@ -57,6 +67,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "fleet" {
 		return runFleet(args[1:], os.Stdin, os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "replay" {
+		return runReplay(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("mspctool", flag.ContinueOnError)
 	var (

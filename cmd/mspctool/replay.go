@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/fieldbus"
+)
+
+// runReplay implements the replay subcommand: play a recorded frame
+// capture (written by `mspctool fleet -record`, or synthesized by any
+// tool emitting the internal/fieldbus capture format) back through the
+// same pairing → fleet path a live listener feeds, at a configurable
+// speed-up.
+//
+// The clock mapping is the whole trick: the capture's monotonic
+// timestamps form a virtual timeline that is (a) compressed by -speed for
+// wall-clock pacing and (b) handed to the pairing layer as its arrival
+// clock, so -pair-timeout keeps meaning *capture time* at any speed-up —
+// a 2s mate-loss horizon in the plant's timeline stays a 2s horizon
+// whether the capture replays at 1x or 1000x. With -speed 0 the capture
+// replays as fast as the scoring path can drain it (the virtual clock
+// still advances by the capture's stamps).
+func runReplay(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mspctool replay", flag.ContinueOnError)
+	var (
+		calPath     = fs.String("cal", "", "NOC calibration CSV (required)")
+		capPath     = fs.String("capture", "", "capture file to replay (required)")
+		speed       = fs.Float64("speed", 0, "replay speed-up factor (1 = real time, 0 = as fast as possible)")
+		sampleSec   = fs.Float64("sample", 4.5, "observation interval of the captured streams [s]")
+		onsetHour   = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known (applies to every plant)")
+		components  = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
+		workers     = fs.Int("workers", 0, "scoring workers (0 = GOMAXPROCS)")
+		every       = fs.Int("every", -1, "print chart statistics every N observations per plant (-1 = alarms only)")
+		pairWindow  = fs.Int("pair-window", 64, "reorder window for sensor/actuator frame pairing, in sequence numbers")
+		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "flush observations whose mate frame is this late in capture time (0 = never)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The event printer goroutine and the replay loop's attach/stall lines
+	// write concurrently.
+	out = &syncWriter{w: out}
+	switch {
+	case *calPath == "" || *capPath == "":
+		fs.Usage()
+		return fmt.Errorf("mspctool replay: -cal and -capture are required: %w", pcsmon.ErrBadConfig)
+	case *speed < 0:
+		return fmt.Errorf("mspctool replay: -speed %g must be >= 0: %w", *speed, pcsmon.ErrBadConfig)
+	case *sampleSec <= 0:
+		return fmt.Errorf("mspctool replay: -sample %g must be positive: %w", *sampleSec, pcsmon.ErrBadConfig)
+	case *onsetHour < 0:
+		return fmt.Errorf("mspctool replay: -onset-hour %g must be >= 0: %w", *onsetHour, pcsmon.ErrBadConfig)
+	case *components < 0:
+		return fmt.Errorf("mspctool replay: -components %d must be >= 0: %w", *components, pcsmon.ErrBadConfig)
+	case *workers < 0:
+		return fmt.Errorf("mspctool replay: -workers %d must be >= 0: %w", *workers, pcsmon.ErrBadConfig)
+	case *pairWindow <= 0:
+		return fmt.Errorf("mspctool replay: -pair-window %d must be positive: %w", *pairWindow, pcsmon.ErrBadConfig)
+	case *pairTimeout < 0:
+		return fmt.Errorf("mspctool replay: -pair-timeout %v must be >= 0: %w", *pairTimeout, pcsmon.ErrBadConfig)
+	}
+
+	capFile, err := os.Open(*capPath)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = capFile.Close() }()
+	cr, err := fieldbus.NewCaptureReader(bufio.NewReaderSize(capFile, 1<<16))
+	if err != nil {
+		return fmt.Errorf("%s: %w", *capPath, err)
+	}
+
+	sys, err := calibrateFrom(*calPath, *components, out)
+	if err != nil {
+		return err
+	}
+	onset := onsetIndex(*onsetHour, *sampleSec)
+	fl, err := pcsmon.NewFleet(sys, pcsmon.FleetOptions{
+		Workers:   *workers,
+		EmitEvery: *every,
+		Sample:    time.Duration(*sampleSec * float64(time.Second)),
+	})
+	if err != nil {
+		return err
+	}
+	printer := startFleetPrinter(fl, *every, out)
+	fail := func(err error) error {
+		_ = fl.Close()
+		printer.wait()
+		return err
+	}
+
+	// The virtual clock: the capture timeline anchored at an arbitrary
+	// epoch. The replay loop advances it to each record's stamp; the
+	// pairing layer reads it as the arrival clock.
+	epoch := time.Now()
+	var vnow atomic.Int64 // nanoseconds past epoch
+	clock := func() time.Time { return epoch.Add(time.Duration(vnow.Load())) }
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{
+		Window:  *pairWindow,
+		Timeout: *pairTimeout,
+		Onset:   onset,
+		Clock:   clock,
+		OnAttach: func(plant string) {
+			fmt.Fprintf(out, "plant %s attached\n", plant)
+		},
+	}, func(ev pcsmon.FleetEvent) {
+		if s, ok := ev.Event.(pcsmon.ViewStalled); ok {
+			fmt.Fprintf(out, "VIEW STALL [%s] %s frames missing since obs %d — scoring hold-last-value (DoS-consistent)\n",
+				ev.Plant, s.View, s.Seq)
+		}
+	})
+	if err != nil {
+		return fail(err)
+	}
+
+	fmt.Fprintf(out, "replaying %s", *capPath)
+	if *speed > 0 {
+		fmt.Fprintf(out, " at %gx", *speed)
+	} else {
+		fmt.Fprint(out, " unpaced")
+	}
+	fmt.Fprintln(out)
+
+	wallStart := time.Now()
+	var first time.Duration
+	started := false
+	var span time.Duration
+	for {
+		ts, f, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// A recording monitor that died uncleanly (kill, crash, power
+			// loss) leaves a capture ending mid-record — exactly the
+			// post-mortem a replay is for. Score the readable prefix and
+			// say so, instead of discarding everything over the tail.
+			fmt.Fprintf(out, "warning: %s: %v — replaying the %d readable frames\n",
+				*capPath, err, cr.Frames())
+			break
+		}
+		if !started {
+			first, started = ts, true
+		}
+		span = ts - first
+		// Clock mapping: capture elapsed / speed = wall elapsed.
+		if *speed > 0 {
+			target := wallStart.Add(time.Duration(float64(span) / *speed))
+			if d := time.Until(target); d > 0 {
+				time.Sleep(d)
+			}
+		}
+		vnow.Store(int64(ts))
+		offered, offerErr := pi.OfferFrame(f)
+		if offerErr != nil {
+			return fail(offerErr)
+		}
+		if !offered {
+			continue // not an observation frame; skip like the live path
+		}
+		if *pairTimeout > 0 {
+			if err := pi.Tick(clock()); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := pi.Flush(); err != nil {
+		return fail(err)
+	}
+
+	ids := pi.Plants()
+	sort.Strings(ids)
+	for _, id := range ids {
+		if _, err := fl.Detach(id); err != nil {
+			return fail(err)
+		}
+	}
+	stats := fl.Stats()
+	if err := fl.Close(); err != nil {
+		return err
+	}
+	printer.wait()
+
+	st := pi.Stats()
+	wall := time.Since(wallStart)
+	printPairingSummary(out, st)
+	printPlantReports(out, ids, printer)
+	effective := "∞"
+	if wall > 0 && span > 0 {
+		effective = fmt.Sprintf("%.0f", float64(span)/float64(wall))
+	}
+	fmt.Fprintf(out, "\nreplay: %d frames, capture span %v in %v (%sx effective), %d plants, %d observations, %d alarms\n",
+		cr.Frames(), span.Round(time.Millisecond), wall.Round(time.Millisecond),
+		effective, stats.Attached, stats.Observations, stats.Alarms)
+	return nil
+}

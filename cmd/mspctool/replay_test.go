@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+)
+
+// writeTwoViewCapture synthesizes a capture of a two-unit plant fleet:
+// unit 0 stays in control, unit 1's channel 0 is forged from row `shift`
+// on (the two views disagree — the cross-view integrity signature).
+// Observations are spaced `step` apart on the capture timeline.
+func writeTwoViewCapture(t *testing.T, path string, rows, shift int, step time.Duration) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	cw, err := fieldbus.NewCaptureWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		at := time.Duration(i) * step
+		for u := 0; u < 2; u++ {
+			z := rng.NormFloat64()
+			ctrl := make([]float64, m)
+			for j := 0; j < m; j++ {
+				ctrl[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+			}
+			proc := append([]float64(nil), ctrl...)
+			if u == 1 && i >= shift {
+				ctrl[0] -= 30
+				proc[0] += 30
+			}
+			if err := cw.WriteAt(&fieldbus.Frame{
+				Type: fieldbus.FrameSensor, Unit: uint8(u), Seq: uint64(i + 1), Values: ctrl,
+			}, at); err != nil {
+				t.Fatal(err)
+			}
+			if err := cw.WriteAt(&fieldbus.Frame{
+				Type: fieldbus.FrameActuator, Unit: uint8(u), Seq: uint64(i + 1), Values: proc,
+			}, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplaySubcommandSpeedup: a capture spanning ~4s of plant time must
+// replay well past 10x real time while reaching the cross-view verdicts
+// the live path would — the acceptance criterion for capture replay.
+func TestReplaySubcommandSpeedup(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	cap := filepath.Join(dir, "plant.cap")
+	const (
+		rows  = 200
+		shift = 100
+	)
+	writeTwoViewCapture(t, cap, rows, shift, 20*time.Millisecond)
+
+	var out bytes.Buffer
+	err := runReplay([]string{
+		"-cal", cal,
+		"-capture", cap,
+		"-speed", "200",
+		"-sample", "9",
+		"-onset-hour", "0.25", // row 100 at 9 s samples
+	}, &out)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"replaying", "at 200x",
+		"plant unit-000 attached",
+		"plant unit-001 attached",
+		"plant unit-000: normal",
+		"ALARM [unit-001/",
+		"plant unit-001: integrity-attack",
+		"pairing: ",
+		"replay: ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("replay output missing %q:\n%s", want, text)
+		}
+	}
+	// The effective speed-up printed by the summary must clear the 10x
+	// acceptance bar (the pacing target is 200x; scoring drain may shave it).
+	m := regexp.MustCompile(`\((\d+|∞)x effective\)`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no effective speed-up in summary:\n%s", text)
+	}
+	if m[1] != "∞" {
+		x, err := strconv.Atoi(m[1])
+		if err != nil || x < 10 {
+			t.Errorf("effective speed-up %sx < 10x:\n%s", m[1], text)
+		}
+	}
+}
+
+// TestReplayPairTimeoutUsesCaptureTime: frames whose mates are lost get
+// flushed by the capture-time horizon even when the replay is unpaced —
+// the virtual clock, not the wall clock, drives -pair-timeout.
+func TestReplayPairTimeoutUsesCaptureTime(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	cap := filepath.Join(dir, "lossy.cap")
+
+	f, err := os.Create(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := fieldbus.NewCaptureWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed 3 reproduces the calibration CSV's covariance structure (the
+	// same common factor writeSynthetic drew), so the capture is genuine
+	// NOC traffic for the calibrated model.
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	const rows = 64
+	for i := 0; i < rows; i++ {
+		z := rng.NormFloat64()
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		at := time.Duration(i) * 100 * time.Millisecond
+		if err := cw.WriteAt(&fieldbus.Frame{
+			Type: fieldbus.FrameSensor, Unit: 0, Seq: uint64(i + 1), Values: row,
+		}, at); err != nil {
+			t.Fatal(err)
+		}
+		// Every fourth actuator frame is missing from the capture: the
+		// correlator can only resolve those observations via the age
+		// horizon (the window never fills — the stream is too short).
+		if i%4 != 0 {
+			if err := cw.WriteAt(&fieldbus.Frame{
+				Type: fieldbus.FrameActuator, Unit: 0, Seq: uint64(i + 1), Values: row,
+			}, at); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	start := time.Now()
+	err = runReplay([]string{
+		"-cal", cal,
+		"-capture", cap,
+		"-speed", "0", // unpaced: wall time contributes nothing to aging
+		"-sample", "9",
+		"-pair-window", "256", // wider than the whole capture
+		"-pair-timeout", "1s", // 10 observations of capture time
+	}, &out)
+	if err != nil {
+		t.Fatalf("replay: %v\n%s", err, out.String())
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("unpaced replay took %v — the capture clock leaked into pacing", wall)
+	}
+	text := out.String()
+	// 16 of 64 observations lost their actuator mate; the horizon (not the
+	// final flush alone) must have surfaced them as orphans.
+	if !strings.Contains(text, "16 orphaned (16 sensor / 0 actuator)") {
+		t.Errorf("orphan accounting missing:\n%s", text)
+	}
+	if !strings.Contains(text, "plant unit-000: normal") {
+		t.Errorf("NOC capture not classified normal:\n%s", text)
+	}
+}
+
+func TestReplayFlagValidation(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	cap := filepath.Join(dir, "ok.cap")
+	writeTwoViewCapture(t, cap, 4, 99, time.Millisecond)
+	cases := [][]string{
+		{"-capture", cap},
+		{"-cal", cal},
+		{"-cal", cal, "-capture", cap, "-speed", "-1"},
+		{"-cal", cal, "-capture", cap, "-sample", "0"},
+		{"-cal", cal, "-capture", cap, "-onset-hour", "-1"},
+		{"-cal", cal, "-capture", cap, "-components", "-1"},
+		{"-cal", cal, "-capture", cap, "-workers", "-1"},
+		{"-cal", cal, "-capture", cap, "-pair-window", "0"},
+		{"-cal", cal, "-capture", cap, "-pair-timeout", "-1s"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := runReplay(args, &out); !errors.Is(err, pcsmon.ErrBadConfig) {
+			t.Errorf("%v: want ErrBadConfig, got %v", args, err)
+		}
+		if strings.Contains(out.String(), "calibrated") {
+			t.Errorf("%v: calibration ran before validation", args)
+		}
+	}
+}
+
+// TestReplayRejectsBadCapture: a file that is not a capture fails with the
+// typed capture error before any scoring.
+func TestReplayRejectsBadCapture(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	junk := filepath.Join(dir, "junk.cap")
+	if err := os.WriteFile(junk, []byte("this is not a capture"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runReplay([]string{"-cal", cal, "-capture", junk}, &out); !errors.Is(err, fieldbus.ErrBadCapture) {
+		t.Errorf("want ErrBadCapture, got %v", err)
+	}
+	if err := runReplay([]string{"-cal", cal, "-capture", filepath.Join(dir, "absent.cap")}, &out); err == nil {
+		t.Error("missing capture file accepted")
+	}
+}
+
+// TestReplayToleratesTruncatedTail: a capture ending mid-record (the
+// recording monitor died uncleanly) must replay its readable prefix with
+// a warning and still deliver verdicts — not discard everything.
+func TestReplayToleratesTruncatedTail(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	whole := filepath.Join(dir, "whole.cap")
+	writeTwoViewCapture(t, whole, 200, 100, time.Millisecond)
+	data, err := os.ReadFile(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := filepath.Join(dir, "cut.cap")
+	if err := os.WriteFile(cut, data[:len(data)-100], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = runReplay([]string{
+		"-cal", cal,
+		"-capture", cut,
+		"-speed", "0",
+		"-sample", "9",
+		"-onset-hour", "0.25",
+	}, &out)
+	if err != nil {
+		t.Fatalf("truncated replay: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"warning: ", "readable frames",
+		"plant unit-001: integrity-attack",
+		"replay: ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("truncated replay output missing %q:\n%s", want, text)
+		}
+	}
+}

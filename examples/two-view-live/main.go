@@ -118,17 +118,7 @@ func run(w io.Writer, samples, armAt int) error {
 		return err
 	}
 	srv, err := fieldbus.NewServer("127.0.0.1:0", func(f *fieldbus.Frame) {
-		if len(f.Values) != historian.NumVars {
-			return
-		}
-		var err error
-		switch f.Type {
-		case fieldbus.FrameSensor:
-			err = pi.OfferSensor(f.Unit, f.Seq, f.Values)
-		case fieldbus.FrameActuator:
-			err = pi.OfferActuator(f.Unit, f.Seq, f.Values)
-		}
-		if err != nil {
+		if _, err := pi.OfferFrame(f); err != nil {
 			outMu.Lock()
 			fmt.Fprintf(w, "ingest error: %v\n", err)
 			outMu.Unlock()

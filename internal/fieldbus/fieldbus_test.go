@@ -212,7 +212,7 @@ func TestTCPServerReceivesFrames(t *testing.T) {
 	var received []*Frame
 	srv, err := NewServer("127.0.0.1:0", func(f *Frame) {
 		mu.Lock()
-		received = append(received, f)
+		received = append(received, f.Clone()) // the handler frame is scratch
 		mu.Unlock()
 	})
 	if err != nil {
@@ -252,7 +252,7 @@ func TestTCPServerReceivesFrames(t *testing.T) {
 
 func TestMitMProxyRewritesInTransit(t *testing.T) {
 	got := make(chan *Frame, 10)
-	srv, err := NewServer("127.0.0.1:0", func(f *Frame) { got <- f })
+	srv, err := NewServer("127.0.0.1:0", func(f *Frame) { got <- f.Clone() })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestFrameTypeString(t *testing.T) {
 
 func TestMitMProxyDropsFrames(t *testing.T) {
 	got := make(chan *Frame, 10)
-	srv, err := NewServer("127.0.0.1:0", func(f *Frame) { got <- f })
+	srv, err := NewServer("127.0.0.1:0", func(f *Frame) { got <- f.Clone() })
 	if err != nil {
 		t.Fatal(err)
 	}

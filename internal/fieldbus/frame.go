@@ -32,6 +32,12 @@ var (
 	ErrBadFrame = errors.New("fieldbus: malformed frame")
 	// ErrClosed is returned when operating on a closed link.
 	ErrClosed = errors.New("fieldbus: link closed")
+	// ErrTapViolation is returned when a MitM tap leaves a frame that can
+	// no longer be encoded (empty or oversized Values, broken type). The
+	// attacker model allows rewriting values in transit, not inventing
+	// frames the wire format cannot carry — a tap that does is a harness
+	// bug, surfaced as a typed error instead of a silent downstream failure.
+	ErrTapViolation = errors.New("fieldbus: tap produced invalid frame")
 )
 
 // FrameType discriminates the two payload directions.
@@ -164,3 +170,25 @@ func (f *Frame) UnmarshalInto(data []byte) error {
 
 // EncodedSize returns the wire size of a frame carrying n values.
 func EncodedSize(n int) int { return headerBytes + 8*n + crcBytes }
+
+// Clone returns a deep copy of the frame. Receive paths reuse their scratch
+// frame across deliveries, so a handler that retains a frame past its
+// return must clone it first.
+func (f *Frame) Clone() *Frame {
+	c := *f
+	c.Values = append([]float64(nil), f.Values...)
+	return &c
+}
+
+// checkTapped validates that a tap left the frame marshallable, wrapping
+// ErrTapViolation otherwise — shared by every path that re-encodes or
+// delivers a frame after a tap has run.
+func checkTapped(f *Frame) error {
+	if f.Type != FrameSensor && f.Type != FrameActuator {
+		return fmt.Errorf("fieldbus: tap left frame type %d: %w", int(f.Type), ErrTapViolation)
+	}
+	if len(f.Values) == 0 || len(f.Values) > MaxValues {
+		return fmt.Errorf("fieldbus: tap left %d values: %w", len(f.Values), ErrTapViolation)
+	}
+	return nil
+}

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"testing"
+	"time"
 )
 
 // fuzzSeedFrames returns a few representative valid frames for seeding.
@@ -128,6 +129,119 @@ func FuzzReadFrame(f *testing.F) {
 		if back.Type != fr.Type || back.Unit != fr.Unit || back.Seq != fr.Seq ||
 			len(back.Values) != len(fr.Values) {
 			t.Fatalf("wire round trip changed frame: %+v vs %+v", back, fr)
+		}
+	})
+}
+
+// FuzzCaptureReader throws arbitrary bytes at the capture reader: truncated
+// or corrupt capture files must yield typed errors — ErrBadCapture for
+// structural damage, the codec's own sentinels for frame corruption, io.EOF
+// only at a clean record boundary — and never panic. Frames that do decode
+// must round-trip through a fresh capture bit-identically.
+func FuzzCaptureReader(f *testing.F) {
+	capture := func(frames ...*Frame) []byte {
+		var buf bytes.Buffer
+		cw, err := NewCaptureWriter(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		for i, fr := range frames {
+			if err := cw.WriteAt(fr, time.Duration(i)*time.Millisecond); err != nil {
+				f.Fatal(err)
+			}
+		}
+		if err := cw.Flush(); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	valid := capture(fuzzSeedFrames()...)
+	f.Add(valid)
+	f.Add(capture())                   // header only
+	f.Add(valid[:len(valid)-5])        // truncated mid-frame
+	f.Add(valid[:len(captureMagic)+6]) // truncated mid-record-header
+	bad := append([]byte(nil), valid...)
+	bad[3] ^= 0xFF // corrupt magic
+	f.Add(bad)
+	big := append([]byte(nil), valid...)
+	binary.BigEndian.PutUint32(big[len(captureMagic)+8:], ^uint32(0)) // absurd length
+	f.Add(big)
+	flip := append([]byte(nil), valid...)
+	flip[len(flip)-1] ^= 0x01 // CRC damage in the last frame
+	f.Add(flip)
+	f.Add([]byte{})
+
+	typedErr := func(err error) bool {
+		return errors.Is(err, ErrBadCapture) || errors.Is(err, ErrBadMagic) ||
+			errors.Is(err, ErrBadCRC) || errors.Is(err, ErrBadFrame) ||
+			errors.Is(err, ErrFrameTooShort)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr, err := NewCaptureReader(bytes.NewReader(data))
+		if err != nil {
+			if !typedErr(err) {
+				t.Fatalf("untyped header error: %v", err)
+			}
+			return
+		}
+		var reFrames []*Frame
+		var reTS []time.Duration
+		for {
+			ts, fr, err := cr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				if !typedErr(err) {
+					t.Fatalf("untyped record error: %v", err)
+				}
+				return // damage ends the readable prefix; nothing more to check
+			}
+			if len(fr.Values) == 0 || len(fr.Values) > MaxValues {
+				t.Fatalf("decoded %d values outside (0,%d]", len(fr.Values), MaxValues)
+			}
+			if len(reTS) > 0 && ts < reTS[len(reTS)-1] {
+				t.Fatalf("timestamps not monotonic: %v after %v", ts, reTS[len(reTS)-1])
+			}
+			reFrames = append(reFrames, fr.Clone())
+			reTS = append(reTS, ts)
+		}
+		// Every cleanly-read capture re-encodes to a capture that reads back
+		// identically (the format is canonical given the arrival timeline).
+		var buf bytes.Buffer
+		cw, err := NewCaptureWriter(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, fr := range reFrames {
+			if err := cw.WriteAt(fr, reTS[i]); err != nil {
+				t.Fatalf("re-write of read frame failed: %v", err)
+			}
+		}
+		if err := cw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		back, err := NewCaptureReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range reFrames {
+			ts, fr, err := back.Next()
+			if err != nil {
+				t.Fatalf("re-read record %d: %v", i, err)
+			}
+			if ts != reTS[i] || fr.Type != reFrames[i].Type || fr.Unit != reFrames[i].Unit ||
+				fr.Seq != reFrames[i].Seq || len(fr.Values) != len(reFrames[i].Values) {
+				t.Fatalf("capture round trip changed record %d", i)
+			}
+			for j := range fr.Values {
+				if math.Float64bits(fr.Values[j]) != math.Float64bits(reFrames[i].Values[j]) {
+					t.Fatalf("record %d value %d changed bits", i, j)
+				}
+			}
+		}
+		if _, _, err := back.Next(); err != io.EOF {
+			t.Fatalf("re-read tail: want io.EOF, got %v", err)
 		}
 	})
 }

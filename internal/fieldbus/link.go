@@ -116,6 +116,12 @@ func (l *Link) send(t FrameType, values, dst []float64) ([]float64, error) {
 	}
 	if tap != nil {
 		tap(&l.recvFrame)
+		// A tap may rewrite values but not break the frame: delivering an
+		// empty or overgrown block would hand the victim side a slice no
+		// valid wire frame can carry.
+		if err := checkTapped(&l.recvFrame); err != nil {
+			return nil, err
+		}
 	}
 	out := reuseCopy(dst, l.recvFrame.Values)
 	switch t {

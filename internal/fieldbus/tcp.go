@@ -14,36 +14,66 @@ import (
 
 // WriteFrame writes one length-prefixed frame to w.
 func WriteFrame(w io.Writer, f *Frame) error {
-	data, err := f.Marshal()
+	_, err := WriteFrameBuf(w, f, nil)
+	return err
+}
+
+// WriteFrameBuf is WriteFrame encoding through buf — the allocation-free
+// path for per-frame wire traffic. It returns the (possibly grown) scratch
+// for the next call.
+func WriteFrameBuf(w io.Writer, f *Frame, buf []byte) ([]byte, error) {
+	data, err := f.MarshalTo(buf)
 	if err != nil {
-		return err
+		return buf, err
 	}
 	var lenBuf [4]byte
 	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
 	if _, err := w.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("fieldbus: write length: %w", err)
+		return data, fmt.Errorf("fieldbus: write length: %w", err)
 	}
 	if _, err := w.Write(data); err != nil {
-		return fmt.Errorf("fieldbus: write frame: %w", err)
+		return data, fmt.Errorf("fieldbus: write frame: %w", err)
 	}
-	return nil
+	return data, nil
 }
 
 // ReadFrame reads one length-prefixed frame from r.
 func ReadFrame(r io.Reader) (*Frame, error) {
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, fmt.Errorf("fieldbus: read length: %w", err)
+	f := &Frame{}
+	if _, err := ReadFrameInto(r, f, nil); err != nil {
+		return nil, err
 	}
-	n := binary.BigEndian.Uint32(lenBuf[:])
+	return f, nil
+}
+
+// ReadFrameInto reads one length-prefixed frame from r into f, staging the
+// wire bytes through buf — the allocation-free receive path: with a
+// long-lived frame and scratch, steady-state reads allocate nothing
+// (asserted by TestReadFrameIntoSteadyStateAllocs). It returns the
+// (possibly grown) scratch for the next call.
+func ReadFrameInto(r io.Reader, f *Frame, buf []byte) ([]byte, error) {
+	// The length prefix is staged through the scratch too: a local array
+	// would escape through the io.ReadFull interface call and cost one
+	// allocation per frame — the very thing this path exists to avoid.
+	if cap(buf) < 4 {
+		buf = make([]byte, 4, EncodedSize(64))
+	}
+	buf = buf[:4]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("fieldbus: read length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(buf)
 	if n == 0 || n > uint32(EncodedSize(MaxValues)) {
-		return nil, fmt.Errorf("fieldbus: frame length %d: %w", n, ErrBadFrame)
+		return buf, fmt.Errorf("fieldbus: frame length %d: %w", n, ErrBadFrame)
 	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return nil, fmt.Errorf("fieldbus: read frame: %w", err)
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
 	}
-	return Unmarshal(data)
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return buf, fmt.Errorf("fieldbus: read frame: %w", err)
+	}
+	return buf, f.UnmarshalInto(buf)
 }
 
 // Server accepts fieldbus connections and dispatches received frames to a
@@ -61,6 +91,10 @@ type Server struct {
 // NewServer listens on addr (e.g. "127.0.0.1:0") and calls handler for
 // every valid frame received on any connection. Malformed frames close the
 // offending connection.
+//
+// The frame passed to handler is per-connection scratch, valid only for
+// the duration of the call: a handler that retains it (or its Values) must
+// Clone it first.
 func NewServer(addr string, handler func(*Frame)) (*Server, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("fieldbus: nil handler: %w", ErrBadFrame)
@@ -107,12 +141,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 	br := bufio.NewReader(conn)
+	// Per-connection scratch: the receive hot path decodes every frame into
+	// one long-lived Frame and wire buffer, so steady-state ingest does not
+	// allocate (the handler sees the scratch frame; see NewServer).
+	var frame Frame
+	buf := make([]byte, 0, EncodedSize(64))
+	var err error
 	for {
-		f, err := ReadFrame(br)
+		buf, err = ReadFrameInto(br, &frame, buf)
 		if err != nil {
 			return
 		}
-		s.handler(f)
+		s.handler(&frame)
 	}
 }
 
@@ -143,6 +183,7 @@ type Client struct {
 	mu   sync.Mutex
 	conn net.Conn
 	bw   *bufio.Writer
+	buf  []byte // marshal scratch, guarded by mu
 }
 
 // Dial connects to a fieldbus server (or a MitM proxy posing as one).
@@ -158,7 +199,9 @@ func Dial(addr string) (*Client, error) {
 func (c *Client) Send(f *Frame) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := WriteFrame(c.bw, f); err != nil {
+	buf, err := WriteFrameBuf(c.bw, f, c.buf)
+	c.buf = buf
+	if err != nil {
 		return err
 	}
 	return c.bw.Flush()
@@ -181,12 +224,13 @@ type MitMProxy struct {
 	upstream string
 	tap      Tap
 
-	mu      sync.Mutex
-	drop    func(*Frame) bool
-	dropped uint64
-	closed  bool
-	conns   map[net.Conn]struct{}
-	wg      sync.WaitGroup
+	mu         sync.Mutex
+	drop       func(*Frame) bool
+	dropped    uint64
+	violations uint64
+	closed     bool
+	conns      map[net.Conn]struct{}
+	wg         sync.WaitGroup
 }
 
 // NewMitMProxy listens on addr and forwards frames to upstream, applying
@@ -218,6 +262,15 @@ func (p *MitMProxy) Dropped() uint64 {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.dropped
+}
+
+// TapViolations returns the number of frames the tap left unencodable
+// (wrapped ErrTapViolation); such frames are discarded instead of killing
+// the proxied connection.
+func (p *MitMProxy) TapViolations() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.violations
 }
 
 func (p *MitMProxy) acceptLoop() {
@@ -255,24 +308,39 @@ func (p *MitMProxy) proxyConn(down net.Conn) {
 	defer func() { _ = up.Close() }()
 	br := bufio.NewReader(down)
 	bw := bufio.NewWriter(up)
+	// Per-connection scratch (see Server.serveConn): decode and re-encode
+	// reuse one frame and two wire buffers across the proxied stream.
+	var frame Frame
+	rbuf := make([]byte, 0, EncodedSize(64))
+	wbuf := make([]byte, 0, EncodedSize(64))
 	for {
-		f, err := ReadFrame(br)
+		rbuf, err = ReadFrameInto(br, &frame, rbuf)
 		if err != nil {
 			return
 		}
 		p.mu.Lock()
 		drop := p.drop
 		p.mu.Unlock()
-		if drop != nil && drop(f) {
+		if drop != nil && drop(&frame) {
 			p.mu.Lock()
 			p.dropped++
 			p.mu.Unlock()
 			continue
 		}
 		if p.tap != nil {
-			p.tap(f)
+			p.tap(&frame)
+			// A tap that breaks the frame must not kill the proxied
+			// connection (re-marshal would reject it and the stream would
+			// die silently): discard the frame, count the violation, keep
+			// forwarding.
+			if checkTapped(&frame) != nil {
+				p.mu.Lock()
+				p.violations++
+				p.mu.Unlock()
+				continue
+			}
 		}
-		if err := WriteFrame(bw, f); err != nil {
+		if wbuf, err = WriteFrameBuf(bw, &frame, wbuf); err != nil {
 			return
 		}
 		if err := bw.Flush(); err != nil {

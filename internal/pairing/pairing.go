@@ -233,6 +233,24 @@ type Stats struct {
 	Units int
 }
 
+// LossRate reports the fraction of wire frames missing from finalized
+// observations: the emitted sequence space implies two frames per
+// observation (and two per gapped sequence number), of which orphans'
+// mates and gaps never arrived. Pending slots are excluded — their mates
+// may still show up. Returns 0 before anything has been emitted.
+//
+// This is the per-transport loss figure a lossy feed (UDP, a flaky
+// collector link) is judged by: duplicates and stale frames are redundant
+// traffic, not loss, so they do not enter the ratio.
+func (s Stats) LossRate() float64 {
+	expected := 2 * (s.Paired + s.OrphanSensors + s.OrphanActuators + s.GapSeqs)
+	if expected == 0 {
+		return 0
+	}
+	received := 2*s.Paired + s.OrphanSensors + s.OrphanActuators
+	return float64(expected-received) / float64(expected)
+}
+
 // slot is one pending sequence number: up to one frame per view. A nil row
 // means that view has not arrived.
 type slot struct {

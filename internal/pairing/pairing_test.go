@@ -3,6 +3,7 @@ package pairing
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"time"
@@ -699,5 +700,38 @@ func TestNoAllocationSteadyState(t *testing.T) {
 	})
 	if avg > 0 {
 		t.Errorf("steady-state pairing allocates %.1f times per observation, want 0", avg)
+	}
+}
+
+// TestLossRate: the loss figure counts exactly the frames the finalized
+// sequence space implies but never received — orphan mates and gaps — and
+// excludes pending slots and redundant (duplicate/stale) traffic.
+func TestLossRate(t *testing.T) {
+	c, _ := newTestCorrelator(t, Config{Window: 4})
+	if got := c.Stats().LossRate(); got != 0 {
+		t.Fatalf("empty correlator LossRate = %g, want 0", got)
+	}
+	// Three full pairs, the third's actuator duplicated.
+	for seq := uint64(0); seq < 3; seq++ {
+		offer(t, c, fieldbus.FrameSensor, 1, seq, 1)
+		offer(t, c, fieldbus.FrameActuator, 1, seq, 2)
+	}
+	offer(t, c, fieldbus.FrameActuator, 1, 2, 2) // duplicate: redundant, not loss
+	// Seq 3 loses its actuator mate; seqs 4-5 vanish entirely; seq 6 pairs.
+	offer(t, c, fieldbus.FrameSensor, 1, 3, 1)
+	offer(t, c, fieldbus.FrameSensor, 1, 6, 1)
+	offer(t, c, fieldbus.FrameActuator, 1, 6, 2)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	// Emitted space: 4 paired + 1 orphan + 2 gap seqs = 14 expected frames,
+	// 9 received (the duplicate doesn't count) -> 5/14 lost.
+	if st.Paired != 4 || st.OrphanSensors != 1 || st.GapSeqs != 2 || st.Duplicates != 1 {
+		t.Fatalf("unexpected accounting: %+v", st)
+	}
+	want := 5.0 / 14.0
+	if got := st.LossRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LossRate = %g, want %g", got, want)
 	}
 }

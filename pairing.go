@@ -72,6 +72,11 @@ type PairingOptions struct {
 	Onset int
 	// OnAttach, if non-nil, observes every unit's first-sight attachment.
 	OnAttach func(plant string)
+	// Clock overrides the arrival-timestamp source the Timeout horizon is
+	// measured against (nil = wall clock). Capture replay maps the capture
+	// timeline through it, so Timeout keeps meaning capture time at any
+	// speed-up.
+	Clock func() time.Time
 }
 
 // PairingIngest is the live two-view front of a Fleet: it correlates
@@ -115,6 +120,7 @@ func (f *Fleet) NewPairingIngest(opts PairingOptions, emit func(FleetEvent)) (*P
 		Window:     opts.Window,
 		MaxAge:     opts.Timeout,
 		StallAfter: opts.StallAfter,
+		Clock:      opts.Clock,
 	}, pi.route)
 	if err != nil {
 		return nil, fmt.Errorf("pcsmon: %w", err)
@@ -189,6 +195,23 @@ func (pi *PairingIngest) OfferSensor(unit uint8, seq uint64, row []float64) erro
 // (unit, seq).
 func (pi *PairingIngest) OfferActuator(unit uint8, seq uint64, row []float64) error {
 	return pi.wrap(pi.cor.Offer(fieldbus.FrameActuator, unit, seq, row))
+}
+
+// OfferFrame ingests one decoded fieldbus frame when it is a full-width
+// observation frame, reporting whether it was ingested. Non-observation
+// traffic — wrong row width, unknown frame type — is skipped as (false,
+// nil). This is the one demux rule every transport shares (TCP listener,
+// UDP listener, capture replay), so the live ingest and the replay path
+// cannot drift apart.
+func (pi *PairingIngest) OfferFrame(f *fieldbus.Frame) (bool, error) {
+	if f == nil || len(f.Values) != historian.NumVars {
+		return false, nil
+	}
+	switch f.Type {
+	case fieldbus.FrameSensor, fieldbus.FrameActuator:
+		return true, pi.wrap(pi.cor.Offer(f.Type, f.Unit, f.Seq, f.Values))
+	}
+	return false, nil
 }
 
 // OfferBytes decodes one marshalled fieldbus frame (the wire format of
