@@ -328,12 +328,15 @@ func BenchmarkOnlineAnalyzerStream(b *testing.B) {
 // --- Fleet throughput ---
 
 // BenchmarkFleetThroughput measures aggregate scoring throughput of the
-// sharded fleet engine at increasing stream counts: per op, S streams are
-// attached to one pool, fed 200 paired NOC observations each (interleaved
-// round-robin from a few producer goroutines, as a demuxed fleet feed
-// arrives) and detached. obs/sec/core is the sharding scalability metric
-// the ROADMAP's many-plant open item asks for; BENCH_fleet.json records
-// the baseline.
+// sharded fleet engine across a GOMAXPROCS × stream-count matrix: per op,
+// S streams are attached to one pool, fed 200 paired NOC observations each
+// (interleaved round-robin from a few producer goroutines, as a demuxed
+// fleet feed arrives) and detached. Each gomaxprocs level pins the runtime
+// for its sub-benchmarks, so the matrix measures multi-core scaling on any
+// host (levels above the machine's CPU count time-slice and should stay
+// flat, not degrade — that flatness is the contention check). obs/sec is
+// the scalability metric the ROADMAP's raw-speed item asks for;
+// BENCH_fleet.json records the baseline.
 func BenchmarkFleetThroughput(b *testing.B) {
 	f := fixture(b)
 	perStream := 200
@@ -346,80 +349,89 @@ func BenchmarkFleetThroughput(b *testing.B) {
 		ctrlRows[i] = f.nocCtrl.RowView(i)
 		procRows[i] = f.nocProc.RowView(i)
 	}
-	for _, streams := range []int{1, 8, 64, 512} {
-		b.Run(fmt.Sprintf("streams=%d", streams), func(b *testing.B) {
-			ids := make([]string, streams)
-			for s := range ids {
-				ids[s] = fmt.Sprintf("plant-%04d", s)
-			}
-			producers := 4
-			if streams < producers {
-				producers = streams
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for n := 0; n < b.N; n++ {
-				fl, err := pcsmon.NewFleet(f.lab.System, pcsmon.FleetOptions{
-					EmitEvery: -1,
-					Sample:    9 * time.Second,
-				})
-				if err != nil {
-					b.Fatal(err)
-				}
-				drained := make(chan struct{})
-				go func() {
-					for range fl.Events() {
-					}
-					close(drained)
-				}()
-				errCh := make(chan error, producers)
-				var wg sync.WaitGroup
-				for p := 0; p < producers; p++ {
-					wg.Add(1)
-					go func(p int) {
-						defer wg.Done()
-						for s := p; s < streams; s += producers {
-							if err := fl.Attach(ids[s], 0); err != nil {
-								errCh <- err
-								return
-							}
-						}
-						for i := 0; i < perStream; i++ {
-							for s := p; s < streams; s += producers {
-								if err := fl.Push(ids[s], ctrlRows[i], procRows[i]); err != nil {
-									errCh <- err
-									return
-								}
-							}
-						}
-						for s := p; s < streams; s += producers {
-							if _, err := fl.Detach(ids[s]); err != nil {
-								errCh <- err
-								return
-							}
-						}
-					}(p)
-				}
-				wg.Wait()
-				if err := fl.Close(); err != nil {
-					b.Fatal(err)
-				}
-				<-drained
-				select {
-				case err := <-errCh:
-					b.Fatal(err)
-				default:
-				}
-			}
-			obs := float64(b.N) * float64(streams*perStream)
-			cores := float64(runtime.GOMAXPROCS(0))
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(obs/sec, "obs/sec")
-				b.ReportMetric(obs/sec/cores, "obs/sec/core")
-			}
-			b.ReportMetric(float64(streams*perStream), "obs/op")
-		})
+	for _, cores := range []int{1, 2, 4, 8} {
+		for _, streams := range []int{1, 8, 64, 512} {
+			benchFleetMatrixCell(b, f, cores, streams, perStream, ctrlRows, procRows)
+		}
 	}
+}
+
+// benchFleetMatrixCell runs one (gomaxprocs, streams) cell of the fleet
+// throughput matrix.
+func benchFleetMatrixCell(b *testing.B, f *benchFixture, cores, streams, perStream int, ctrlRows, procRows [][]float64) {
+	b.Run(fmt.Sprintf("gomaxprocs=%d/streams=%d", cores, streams), func(b *testing.B) {
+		prev := runtime.GOMAXPROCS(cores)
+		defer runtime.GOMAXPROCS(prev)
+		ids := make([]string, streams)
+		for s := range ids {
+			ids[s] = fmt.Sprintf("plant-%04d", s)
+		}
+		producers := 4
+		if streams < producers {
+			producers = streams
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for n := 0; n < b.N; n++ {
+			fl, err := pcsmon.NewFleet(f.lab.System, pcsmon.FleetOptions{
+				EmitEvery: -1,
+				Sample:    9 * time.Second,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			drained := make(chan struct{})
+			go func() {
+				for range fl.Events() {
+				}
+				close(drained)
+			}()
+			errCh := make(chan error, producers)
+			var wg sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					for s := p; s < streams; s += producers {
+						if err := fl.Attach(ids[s], 0); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					for i := 0; i < perStream; i++ {
+						for s := p; s < streams; s += producers {
+							if err := fl.Push(ids[s], ctrlRows[i], procRows[i]); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+					for s := p; s < streams; s += producers {
+						if _, err := fl.Detach(ids[s]); err != nil {
+							errCh <- err
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			if err := fl.Close(); err != nil {
+				b.Fatal(err)
+			}
+			<-drained
+			select {
+			case err := <-errCh:
+				b.Fatal(err)
+			default:
+			}
+		}
+		obs := float64(b.N) * float64(streams*perStream)
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(obs/sec, "obs/sec")
+			b.ReportMetric(obs/sec/float64(cores), "obs/sec/core")
+		}
+		b.ReportMetric(float64(streams*perStream), "obs/op")
+	})
 }
 
 // --- Micro-benchmarks of the substrates ---

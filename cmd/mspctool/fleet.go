@@ -69,6 +69,8 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		idle        = fs.Duration("idle", 5*time.Second, "live mode: stop after this long without traffic")
 		pairWindow  = fs.Int("pair-window", 64, "live mode: reorder window for sensor/actuator frame pairing, in sequence numbers")
 		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "live mode: flush observations whose mate frame is this late (0 = never)")
+		batch       = fs.Int("batch", 0, "observations aggregated per worker delivery (0 = default 16, 1 = per-observation)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address while the fleet runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,12 +102,21 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("mspctool fleet: -pair-window %d must be positive: %w", *pairWindow, pcsmon.ErrBadConfig)
 	case *pairTimeout < 0:
 		return fmt.Errorf("mspctool fleet: -pair-timeout %v must be >= 0: %w", *pairTimeout, pcsmon.ErrBadConfig)
+	case *batch < 0:
+		return fmt.Errorf("mspctool fleet: -batch %d must be >= 0: %w", *batch, pcsmon.ErrBadConfig)
 	case !live && liveFlagSet(fs):
 		return fmt.Errorf("mspctool fleet: -record/-max-obs/-idle/-pair-window/-pair-timeout only apply with -listen/-listen-udp: %w", pcsmon.ErrBadConfig)
 	}
 	adaptive, err := adaptiveFlags(fs, "mspctool fleet", *adaptEvery, *adaptForget)
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		pp, err := startPprof(*pprofAddr, out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = pp.Close() }()
 	}
 	sys, err := calibrateFrom(*calPath, *components, out)
 	if err != nil {
@@ -114,6 +125,7 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 	onset := onsetIndex(*onsetHour, *sampleSec)
 	fl, err := pcsmon.NewFleet(sys, pcsmon.FleetOptions{
 		Workers:   *workers,
+		Batch:     *batch,
 		EmitEvery: *every,
 		Sample:    time.Duration(*sampleSec * float64(time.Second)),
 		Adaptive:  adaptive,

@@ -62,6 +62,7 @@ func TestFleetSubcommandCSV(t *testing.T) {
 		"-cal", cal,
 		"-sample", "9",
 		"-onset-hour", "0.325", // row 130 at 9 s samples
+		"-batch", "4", // exercise the batching knob end to end
 	}, strings.NewReader(stream), &out)
 	if err != nil {
 		t.Fatalf("fleet: %v\n%s", err, out.String())
@@ -484,6 +485,8 @@ func TestFleetFlagValidation(t *testing.T) {
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "1.5"},
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "0"},
 		{"-cal", cal, "-adapt-forget", "0.99"}, // forget without cadence
+		{"-cal", cal, "-batch", "-1"},
+		{"-cal", cal, "-pprof", "not-an-address"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"time"
+
+	"pcsmon"
+)
+
+// startPprof serves the net/http/pprof endpoints on addr for the lifetime
+// of the command — the profiling tap behind the -pprof flag of the fleet
+// and replay subcommands. An unusable address is a configuration error and
+// is reported as such (wrapped ErrBadConfig) before any scoring starts.
+// The returned closer stops the listener; the serving goroutine exits with
+// it.
+func startPprof(addr string, out io.Writer) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("-pprof %s: %v: %w", addr, err, pcsmon.ErrBadConfig)
+	}
+	srv := &http.Server{ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(out, "pprof listening on http://%s/debug/pprof/\n", ln.Addr())
+	return ln, nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"pcsmon"
+)
+
+// TestStartPprofServesEndpoints: the -pprof tap must serve the standard
+// net/http/pprof pages while running and release the port on Close.
+func TestStartPprofServesEndpoints(t *testing.T) {
+	var out bytes.Buffer
+	pp, err := startPprof("127.0.0.1:0", &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := out.String()
+	const prefix = "pprof listening on http://"
+	if !strings.HasPrefix(line, prefix) {
+		t.Fatalf("startup line %q missing %q", line, prefix)
+	}
+	url := "http://" + strings.TrimSpace(strings.TrimPrefix(line, prefix)) + "cmdline"
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET pprof cmdline: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline: status %d, body %q", resp.StatusCode, body)
+	}
+	if !bytes.Contains(body, []byte("mspctool")) && len(body) == 0 {
+		t.Errorf("pprof cmdline returned empty body")
+	}
+	if err := pp.Close(); err != nil {
+		t.Errorf("close pprof listener: %v", err)
+	}
+}
+
+// TestStartPprofRejectsBadAddress: an unusable address is a configuration
+// error, reported before any scoring could start.
+func TestStartPprofRejectsBadAddress(t *testing.T) {
+	var out bytes.Buffer
+	if _, err := startPprof("not-an-address", &out); !errors.Is(err, pcsmon.ErrBadConfig) {
+		t.Errorf("want ErrBadConfig, got %v", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("failed startup printed %q", out.String())
+	}
+}

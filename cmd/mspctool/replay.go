@@ -41,6 +41,8 @@ func runReplay(args []string, out io.Writer) error {
 		every       = fs.Int("every", -1, "print chart statistics every N observations per plant (-1 = alarms only)")
 		pairWindow  = fs.Int("pair-window", 64, "reorder window for sensor/actuator frame pairing, in sequence numbers")
 		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "flush observations whose mate frame is this late in capture time (0 = never)")
+		batch       = fs.Int("batch", 0, "observations aggregated per worker delivery (0 = default 16, 1 = per-observation)")
+		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address while the replay runs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +68,15 @@ func runReplay(args []string, out io.Writer) error {
 		return fmt.Errorf("mspctool replay: -pair-window %d must be positive: %w", *pairWindow, pcsmon.ErrBadConfig)
 	case *pairTimeout < 0:
 		return fmt.Errorf("mspctool replay: -pair-timeout %v must be >= 0: %w", *pairTimeout, pcsmon.ErrBadConfig)
+	case *batch < 0:
+		return fmt.Errorf("mspctool replay: -batch %d must be >= 0: %w", *batch, pcsmon.ErrBadConfig)
+	}
+	if *pprofAddr != "" {
+		pp, err := startPprof(*pprofAddr, out)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = pp.Close() }()
 	}
 
 	capFile, err := os.Open(*capPath)
@@ -85,6 +96,7 @@ func runReplay(args []string, out io.Writer) error {
 	onset := onsetIndex(*onsetHour, *sampleSec)
 	fl, err := pcsmon.NewFleet(sys, pcsmon.FleetOptions{
 		Workers:   *workers,
+		Batch:     *batch,
 		EmitEvery: *every,
 		Sample:    time.Duration(*sampleSec * float64(time.Second)),
 	})

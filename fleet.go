@@ -37,8 +37,18 @@ type FleetOptions struct {
 	// Workers is the number of scoring goroutines streams are sharded over
 	// (0 = GOMAXPROCS).
 	Workers int
-	// Mailbox is the per-worker queue depth in observations (0 = 64).
+	// Mailbox is the per-worker queue depth in messages (0 = 64); each
+	// message carries up to Batch observations.
 	Mailbox int
+	// Batch is the number of observations aggregated per worker delivery
+	// (0 = 16, 1 = per-observation delivery). Batching amortizes channel
+	// and locking overhead across observations without changing a single
+	// result; partially filled batches are delivered on the FlushEvery
+	// cadence and on Detach/Close.
+	Batch int
+	// FlushEvery is the cadence at which partially filled batches are
+	// delivered (0 = 2ms, negative = only on full batch or Detach/Close).
+	FlushEvery time.Duration
 	// EventBuffer is the event fan-in buffer depth (0 = 256). A full
 	// buffer back-pressures the scoring workers and, transitively, Push;
 	// events are never dropped or reordered within a plant.
@@ -72,6 +82,8 @@ func NewFleet(sys *System, opts FleetOptions) (*Fleet, error) {
 	pool, err := fleet.NewPool(sys, fleet.Config{
 		Workers:     opts.Workers,
 		Mailbox:     opts.Mailbox,
+		Batch:       opts.Batch,
+		FlushEvery:  opts.FlushEvery,
 		EventBuffer: opts.EventBuffer,
 		EmitEvery:   opts.EmitEvery,
 		Sample:      opts.Sample,
@@ -95,8 +107,10 @@ func (f *Fleet) convert() {
 	defer close(f.events)
 	for ev := range f.pool.Events() {
 		switch e := ev.(type) {
-		case fleet.Scored:
-			f.events <- FleetEvent{Plant: e.Plant, Event: scoredEvent(e.Step)}
+		case *fleet.Scored:
+			fe := FleetEvent{Plant: e.Plant, Event: scoredEvent(e.Step)}
+			f.pool.Recycle(e) // scoredEvent copied everything it needs
+			f.events <- fe
 		case fleet.Alarm:
 			f.events <- FleetEvent{
 				Plant: e.Plant,

@@ -164,3 +164,51 @@ func TestReportRender(t *testing.T) {
 		t.Error("NOC report should say 'no detection'")
 	}
 }
+
+// TestContributeIntoMatchesContributeExact pins the scratch-based variant
+// against the naive allocating path with exact equality: same windows, bit
+// for bit, including across scratch reuse with different group sizes.
+func TestContributeIntoMatchesContributeExact(t *testing.T) {
+	f := newSynthFixture(t, 204)
+	var cs ContribScratch
+	for _, n := range []int{1, 7, 30} {
+		shift := map[int]float64{te.XmeasAFeed: -6}
+		_, pd := f.viewsWithShift(t, 0, n, shift, shift)
+		rows := make([][]float64, pd.Rows())
+		for i := range rows {
+			rows[i] = pd.RowView(i)
+		}
+		want, err := f.sys.Contribute(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.sys.ContributeInto(rows, &cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want.D {
+			if got.D[j] != want.D[j] || got.Q[j] != want.Q[j] {
+				t.Fatalf("n=%d var %d: Into (D=%v,Q=%v) != naive (D=%v,Q=%v)",
+					n, j, got.D[j], got.Q[j], want.D[j], want.Q[j])
+			}
+		}
+	}
+	// Nil scratch is allowed.
+	shift := map[int]float64{te.XmeasAFeed: -6}
+	_, pd := f.viewsWithShift(t, 0, 5, shift, shift)
+	rows := make([][]float64, pd.Rows())
+	for i := range rows {
+		rows[i] = pd.RowView(i)
+	}
+	if _, err := f.sys.ContributeInto(rows, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Same validation as Contribute.
+	var unset System
+	if _, err := unset.ContributeInto([][]float64{{1}}, &cs); !errors.Is(err, ErrNotCalibrated) {
+		t.Errorf("uncalibrated: %v", err)
+	}
+	if _, err := f.sys.ContributeInto(nil, &cs); !errors.Is(err, ErrBadInput) {
+		t.Errorf("empty group: %v", err)
+	}
+}

@@ -232,6 +232,10 @@ type ViewAnalysis struct {
 	Top []int
 	// Dominance is the oMEDA dominance ratio (max/median of |bars|).
 	Dominance float64
+	// Contrib holds the classical T²/SPE contribution profiles over the
+	// same diagnosis window, for comparison with the oMEDA bars (nil when
+	// the view had no detection).
+	Contrib *Contributions
 }
 
 // Report is the full two-view result for one run.

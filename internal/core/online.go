@@ -34,6 +34,8 @@ type OnlineAnalyzer struct {
 
 	win *pairWindow // frozen/diverged evidence, from the earliest RunStart
 
+	contrib ContribScratch // reused by both views' Finish-time diagnosis
+
 	report *Report // cached by Finish; non-nil means the stream is closed
 }
 
@@ -230,11 +232,11 @@ func (a *OnlineAnalyzer) Finish() (*Report, error) {
 	if a.n == 0 {
 		return nil, fmt.Errorf("core: empty stream: %w", ErrBadInput)
 	}
-	cv, err := a.ctrl.analysis(a.sys, a.onset, a.sample)
+	cv, err := a.ctrl.analysis(a.sys, a.onset, a.sample, &a.contrib)
 	if err != nil {
 		return nil, err
 	}
-	pv, err := a.proc.analysis(a.sys, a.onset, a.sample)
+	pv, err := a.proc.analysis(a.sys, a.onset, a.sample, &a.contrib)
 	if err != nil {
 		return nil, err
 	}
@@ -315,8 +317,8 @@ func (v *viewState) settled(diagW int) bool {
 }
 
 // analysis freezes the per-view result: detection bookkeeping plus oMEDA
-// diagnosis over the buffered window.
-func (v *viewState) analysis(s *System, onset int, sample time.Duration) (*ViewAnalysis, error) {
+// and classical contribution diagnosis over the buffered window.
+func (v *viewState) analysis(s *System, onset int, sample time.Duration, cs *ContribScratch) (*ViewAnalysis, error) {
 	va := &ViewAnalysis{}
 	if v.detection == nil {
 		return va, nil
@@ -337,6 +339,10 @@ func (v *viewState) analysis(s *System, onset int, sample time.Duration) (*ViewA
 		return nil, err
 	}
 	va.Dominance = omeda.DominanceRatio(vals)
+	va.Contrib, err = s.ContributeInto(v.diag, cs)
+	if err != nil {
+		return nil, err
+	}
 	return va, nil
 }
 

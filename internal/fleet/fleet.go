@@ -42,7 +42,6 @@ package fleet
 import (
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -75,10 +74,22 @@ type Event interface {
 
 // Scored reports one scored observation of one plant — the fleet analogue
 // of the facade's SampleScored. The step's point values are copies, safe to
-// retain.
+// retain while the event is held.
+//
+// Scored events are delivered as *Scored drawn from a pool, so the
+// steady-state emission path allocates nothing. A consumer that is done
+// with one may hand it back via Pool.Recycle (after which the event and its
+// points must no longer be touched); consumers that don't recycle simply
+// let the garbage collector take the event — correctness never depends on
+// recycling.
 type Scored struct {
 	Plant string
 	Step  core.StepResult
+
+	// ctrlPt/procPt are the event-owned storage Step.Ctrl/Step.Proc point
+	// into, so emitting a step copies the analyzer-scratch points without a
+	// separate allocation per view.
+	ctrlPt, procPt mspc.Point
 }
 
 // Alarm reports that one view of one plant latched a run-rule detection.
@@ -106,12 +117,12 @@ type Verdict struct {
 }
 
 // PlantID implements Event.
-func (e Scored) PlantID() string       { return e.Plant }
+func (e *Scored) PlantID() string      { return e.Plant }
 func (e Alarm) PlantID() string        { return e.Plant }
 func (e ModelSwapped) PlantID() string { return e.Plant }
 func (e Verdict) PlantID() string      { return e.Plant }
 
-func (Scored) fleetEvent()       {}
+func (*Scored) fleetEvent()      {}
 func (Alarm) fleetEvent()        {}
 func (ModelSwapped) fleetEvent() {}
 func (Verdict) fleetEvent()      {}
@@ -123,10 +134,22 @@ type Config struct {
 	// over (0 = GOMAXPROCS). More workers than streams is wasteful but
 	// harmless; each stream is pinned to exactly one worker.
 	Workers int
-	// Mailbox is the per-worker queue depth in observations (0 = 64). A
-	// full mailbox blocks Push — the knob trading producer latency against
+	// Mailbox is the per-worker queue depth in messages (0 = 64); with
+	// batching, each message carries up to Batch observations. A full
+	// mailbox blocks Push — the knob trading producer latency against
 	// memory.
 	Mailbox int
+	// Batch is the number of observations aggregated per mailbox message
+	// and per-stream send (0 = 16, 1 = per-observation delivery). Batching
+	// amortizes channel hops and send-lock traffic across K observations;
+	// results are bit-identical for every Batch value — each plant's rows
+	// are still scored one by one, in push order. Partially filled batches
+	// are delivered by the flush ticker and on Detach/Close.
+	Batch int
+	// FlushEvery is the cadence at which partially filled batches are
+	// delivered (0 = 2ms, negative = no timed flush — batches move only
+	// when full or on Detach/Close). Only meaningful when Batch > 1.
+	FlushEvery time.Duration
 	// EventBuffer is the fan-in event channel depth (0 = 256). A full
 	// buffer blocks the workers (and transitively Push) until the consumer
 	// catches up; events are never dropped.
@@ -152,6 +175,12 @@ func (c Config) withDefaults() Config {
 	if c.EventBuffer == 0 {
 		c.EventBuffer = 256
 	}
+	if c.Batch == 0 {
+		c.Batch = 16
+	}
+	if c.FlushEvery == 0 {
+		c.FlushEvery = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -163,6 +192,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("fleet: mailbox %d: %w", c.Mailbox, ErrBadConfig)
 	case c.EventBuffer < 0:
 		return fmt.Errorf("fleet: event buffer %d: %w", c.EventBuffer, ErrBadConfig)
+	case c.Batch < 0:
+		return fmt.Errorf("fleet: batch %d: %w", c.Batch, ErrBadConfig)
 	case c.Sample < 0:
 		return fmt.Errorf("fleet: sample %v: %w", c.Sample, ErrBadConfig)
 	}
@@ -206,17 +237,34 @@ type stream struct {
 	samples  int
 	finished bool
 
+	// pending is the stream's accumulating batch (batched pools only).
+	// pendMu guards it and also serializes the mailbox sends that move a
+	// batch out, so a producer's full-batch send and the flush ticker's
+	// partial-batch send can never reorder one plant's observations.
+	pendMu  sync.Mutex
+	pending *obsBatch
+
 	report *core.Report
 	err    error
 	done   chan struct{} // closed by the worker after the Verdict event
 }
 
+// obsBatch aggregates up to Config.Batch observations of one stream into a
+// single mailbox message. Boxes travel by pointer from the same free-list
+// as single-observation messages; a nil box marks that view's stream as
+// ended, exactly like the unbatched path.
+type obsBatch struct {
+	n          int
+	ctrl, proc []*[]float64
+}
+
 // message is one mailbox entry: an observation (row boxes owned by the
-// pool's scratch free-list; a nil box marks that view's stream as ended)
-// or, when finish is set, the detach request.
+// pool's scratch free-list; a nil box marks that view's stream as ended),
+// a batch of observations, or, when finish is set, the detach request.
 type message struct {
 	st         *stream
 	ctrl, proc *[]float64
+	batch      *obsBatch
 	finish     bool
 }
 
@@ -243,6 +291,10 @@ type Pool struct {
 	mailboxesClosed bool
 
 	scratch sync.Pool // *[]float64 row boxes of cols length
+	batches sync.Pool // *obsBatch boxes of cfg.Batch capacity
+	scored  sync.Pool // *Scored emission boxes, refilled by Recycle
+
+	flushQuit chan struct{} // stops the batch flusher (nil when unbatched)
 
 	attached     atomic.Uint64
 	observations atomic.Uint64
@@ -308,6 +360,11 @@ func NewPool(sys *core.System, cfg Config) (*Pool, error) {
 		p.wg.Add(1)
 		go w.run()
 	}
+	if cfg.Batch > 1 && cfg.FlushEvery > 0 {
+		p.flushQuit = make(chan struct{})
+		p.wg.Add(1)
+		go p.flushLoop()
+	}
 	return p, nil
 }
 
@@ -315,11 +372,16 @@ func NewPool(sys *core.System, cfg Config) (*Pool, error) {
 // last event.
 func (p *Pool) Events() <-chan Event { return p.events }
 
-// shard returns the worker owning plant id.
+// shard returns the worker owning plant id. The FNV-1a hash is inlined over
+// the string so the per-Push path neither boxes a hash.Hash nor converts the
+// id to []byte — same constants, same worker assignment as hash/fnv.
 func (p *Pool) shard(id string) *worker {
-	h := fnv.New32a()
-	_, _ = h.Write([]byte(id))
-	return p.workers[h.Sum32()%uint32(len(p.workers))]
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return p.workers[h%uint32(len(p.workers))]
 }
 
 // Attach registers a new plant stream. onset is the observation index at
@@ -380,21 +442,98 @@ func (p *Pool) Push(id string, ctrl, proc []float64) error {
 	if !ok {
 		return fmt.Errorf("fleet: %q: %w", id, ErrUnknownPlant)
 	}
-	msg := message{st: st}
+	var cb, pb *[]float64
 	if ctrl != nil {
-		msg.ctrl = p.getRow()
-		copy(*msg.ctrl, ctrl)
+		cb = p.getRow()
+		copy(*cb, ctrl)
 	}
 	if proc != nil {
-		msg.proc = p.getRow()
-		copy(*msg.proc, proc)
+		pb = p.getRow()
+		copy(*pb, proc)
 	}
-	if !p.trySend(w, msg) {
-		p.putRow(msg.ctrl)
-		p.putRow(msg.proc)
+	if p.cfg.Batch > 1 {
+		return p.pushBatched(w, st, cb, pb)
+	}
+	if !p.trySend(w, message{st: st, ctrl: cb, proc: pb}) {
+		p.putRow(cb)
+		p.putRow(pb)
 		return ErrClosed
 	}
 	return nil
+}
+
+// pushBatched appends one boxed observation to the stream's pending batch
+// and ships the batch when it reaches Config.Batch. The mailbox send happens
+// under the stream's pending lock — that lock, not channel-queue order, is
+// what keeps a full-batch send from racing a flush-tick send of the same
+// plant.
+func (p *Pool) pushBatched(w *worker, st *stream, cb, pb *[]float64) error {
+	st.pendMu.Lock()
+	b := st.pending
+	if b == nil {
+		b = p.getBatch()
+		st.pending = b
+	}
+	b.ctrl[b.n] = cb
+	b.proc[b.n] = pb
+	b.n++
+	if b.n < p.cfg.Batch {
+		st.pendMu.Unlock()
+		return nil
+	}
+	st.pending = nil
+	ok := p.trySend(w, message{st: st, batch: b})
+	st.pendMu.Unlock()
+	if !ok {
+		p.putBatch(b)
+		return ErrClosed
+	}
+	return nil
+}
+
+// flushPending ships the stream's partially filled batch, if any. Callers
+// on the detach path invoke it before the finish message so every pushed
+// observation is scored first.
+func (p *Pool) flushPending(st *stream) {
+	st.pendMu.Lock()
+	b := st.pending
+	if b == nil {
+		st.pendMu.Unlock()
+		return
+	}
+	st.pending = nil
+	ok := p.trySend(st.w, message{st: st, batch: b})
+	st.pendMu.Unlock()
+	if !ok {
+		p.putBatch(b)
+	}
+}
+
+// flushLoop delivers partially filled batches on the FlushEvery cadence so
+// a slow producer's observations never sit unscored longer than one tick.
+func (p *Pool) flushLoop() {
+	defer p.wg.Done()
+	tick := time.NewTicker(p.cfg.FlushEvery)
+	defer tick.Stop()
+	var snapshot []*stream
+	for {
+		select {
+		case <-p.flushQuit:
+			return
+		case <-tick.C:
+		}
+		for _, w := range p.workers {
+			snapshot = snapshot[:0]
+			w.mu.Lock()
+			for _, st := range w.streams {
+				snapshot = append(snapshot, st)
+			}
+			w.mu.Unlock()
+			for _, st := range snapshot {
+				p.flushPending(st)
+			}
+		}
+	}
 }
 
 // trySend delivers one mailbox message under the read side of sendMu,
@@ -424,6 +563,7 @@ func (p *Pool) Detach(id string) (*core.Report, error) {
 	if !ok {
 		return nil, fmt.Errorf("fleet: %q: %w", id, ErrUnknownPlant)
 	}
+	p.flushPending(st)
 	if p.trySend(w, message{st: st, finish: true}) {
 		<-st.done
 		return st.report, st.err
@@ -459,11 +599,15 @@ func (p *Pool) Close() error {
 	}
 	for _, st := range rest {
 		// Close owns these streams (they were removed from the registry
-		// above) and the mailboxes are still open: the send cannot fail.
+		// above) and the mailboxes are still open: the sends cannot fail.
+		p.flushPending(st)
 		p.trySend(st.w, message{st: st, finish: true})
 	}
 	for _, st := range rest {
 		<-st.done
+	}
+	if p.flushQuit != nil {
+		close(p.flushQuit)
 	}
 	// Exclude in-flight sends (a Push that read the shard open just before
 	// we flipped it), then shut the mailboxes down; later senders see
@@ -536,6 +680,41 @@ func (p *Pool) putRow(b *[]float64) {
 	p.scratch.Put(b)
 }
 
+// getBatch takes a Config.Batch-capacity batch box from the free-list.
+func (p *Pool) getBatch() *obsBatch {
+	if v := p.batches.Get(); v != nil {
+		return v.(*obsBatch)
+	}
+	return &obsBatch{
+		ctrl: make([]*[]float64, p.cfg.Batch),
+		proc: make([]*[]float64, p.cfg.Batch),
+	}
+}
+
+// putBatch recycles a batch box and every row box still in it.
+func (p *Pool) putBatch(b *obsBatch) {
+	if b == nil {
+		return
+	}
+	for i := 0; i < b.n; i++ {
+		p.putRow(b.ctrl[i])
+		p.putRow(b.proc[i])
+		b.ctrl[i], b.proc[i] = nil, nil
+	}
+	b.n = 0
+	p.batches.Put(b)
+}
+
+// Recycle hands a delivered event back to the pool's emission free-list.
+// Only pooled event types (Scored) are recycled; any other event is a
+// no-op, so consumers may call it unconditionally on every event they have
+// finished with. After Recycle the event must no longer be used.
+func (p *Pool) Recycle(ev Event) {
+	if s, ok := ev.(*Scored); ok {
+		p.scored.Put(s)
+	}
+}
+
 // run is the worker loop: score observations in mailbox order, learn and
 // swap when the pool is adaptive, emit events, finalize on detach. It exits
 // when the mailbox is closed.
@@ -544,42 +723,58 @@ func (w *worker) run() {
 	p := w.pool
 	for msg := range w.in {
 		st := msg.st
-		if msg.finish {
+		switch {
+		case msg.finish:
 			w.finish(st)
-			continue
+		case msg.batch != nil:
+			for i := 0; i < msg.batch.n; i++ {
+				w.score(st, msg.batch.ctrl[i], msg.batch.proc[i])
+				msg.batch.ctrl[i], msg.batch.proc[i] = nil, nil
+			}
+			msg.batch.n = 0
+			p.batches.Put(msg.batch)
+		default:
+			w.score(st, msg.ctrl, msg.proc)
 		}
-		if st.finished {
-			// Observation raced past a concurrent Detach; drop it.
-			p.putRow(msg.ctrl)
-			p.putRow(msg.proc)
-			continue
-		}
-		var cr, pr []float64
-		if msg.ctrl != nil {
-			cr = *msg.ctrl
-		}
-		if msg.proc != nil {
-			pr = *msg.proc
-		}
-		res, err := st.oa.Push(cr, pr)
-		if err != nil {
-			// Row-shape errors are caught in Push; anything here poisons
-			// the stream and surfaces in the Verdict.
-			st.finished = true
-			st.err = fmt.Errorf("fleet: %q: %w", st.id, err)
-			p.putRow(msg.ctrl)
-			p.putRow(msg.proc)
-			continue
-		}
-		st.samples++
-		p.observations.Add(1)
-		if p.tracker != nil {
-			w.adaptStep(st, res, cr, pr)
-		}
-		p.putRow(msg.ctrl)
-		p.putRow(msg.proc)
-		w.emitStep(st, res)
 	}
+}
+
+// score runs one boxed observation through the stream's analyzer and emits
+// its events — the per-observation body shared by the batched and unbatched
+// delivery paths. It consumes (recycles) the row boxes.
+func (w *worker) score(st *stream, ctrl, proc *[]float64) {
+	p := w.pool
+	if st.finished {
+		// Observation raced past a concurrent Detach; drop it.
+		p.putRow(ctrl)
+		p.putRow(proc)
+		return
+	}
+	var cr, pr []float64
+	if ctrl != nil {
+		cr = *ctrl
+	}
+	if proc != nil {
+		pr = *proc
+	}
+	res, err := st.oa.Push(cr, pr)
+	if err != nil {
+		// Row-shape errors are caught in Push; anything here poisons
+		// the stream and surfaces in the Verdict.
+		st.finished = true
+		st.err = fmt.Errorf("fleet: %q: %w", st.id, err)
+		p.putRow(ctrl)
+		p.putRow(proc)
+		return
+	}
+	st.samples++
+	p.observations.Add(1)
+	if p.tracker != nil {
+		w.adaptStep(st, res, cr, pr)
+	}
+	p.putRow(ctrl)
+	p.putRow(proc)
+	w.emitStep(st, res)
 }
 
 // adaptStep drives this stream through the shared tracker's per-observation
@@ -596,22 +791,30 @@ func (w *worker) adaptStep(st *stream, res core.StepResult, cr, pr []float64) {
 }
 
 // emitStep converts one StepResult into fan-in events, honouring the
-// Scored thinning. The step's analyzer-scratch points are copied before
-// they cross the channel.
+// Scored thinning. The step's analyzer-scratch points are copied into the
+// pooled event's own storage before they cross the channel, so the
+// steady-state emission path allocates nothing when consumers Recycle.
 func (w *worker) emitStep(st *stream, res core.StepResult) {
 	p := w.pool
 	every := p.cfg.EmitEvery
 	if every >= 0 && (every <= 1 || res.Index%every == 0) {
-		step := res
+		var ev *Scored
+		if v := p.scored.Get(); v != nil {
+			ev = v.(*Scored)
+		} else {
+			ev = &Scored{}
+		}
+		ev.Plant = st.id
+		ev.Step = res
 		if res.Ctrl != nil {
-			c := *res.Ctrl
-			step.Ctrl = &c
+			ev.ctrlPt = *res.Ctrl
+			ev.Step.Ctrl = &ev.ctrlPt
 		}
 		if res.Proc != nil {
-			c := *res.Proc
-			step.Proc = &c
+			ev.procPt = *res.Proc
+			ev.Step.Proc = &ev.procPt
 		}
-		p.events <- Scored{Plant: st.id, Step: step}
+		p.events <- ev
 	}
 	if res.CtrlAlarm != nil {
 		p.alarms.Add(1)

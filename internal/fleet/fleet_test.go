@@ -168,7 +168,7 @@ func TestPoolLifecycle(t *testing.T) {
 	sawVerdict := false
 	for _, ev := range events {
 		switch e := ev.(type) {
-		case Scored:
+		case *Scored:
 			if sawVerdict {
 				t.Fatal("Scored after Verdict")
 			}
@@ -342,7 +342,7 @@ func TestScoredThinning(t *testing.T) {
 	scored, alarms, verdicts := 0, 0, 0
 	for _, ev := range collect() {
 		switch ev.(type) {
-		case Scored:
+		case *Scored:
 			scored++
 		case Alarm:
 			alarms++

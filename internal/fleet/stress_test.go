@@ -56,7 +56,7 @@ func TestStressManyConcurrentStreams(t *testing.T) {
 				tallies[ev.PlantID()] = tl
 			}
 			switch e := ev.(type) {
-			case Scored:
+			case *Scored:
 				if e.Step.Index <= tl.lastIdx {
 					tl.ordered = false
 				}

@@ -610,10 +610,7 @@ func (c *CovAccumulator) Add(row []float64) error {
 		if vp == 0 {
 			continue
 		}
-		crow := c.cross[p*c.cols : (p+1)*c.cols]
-		for q := p; q < c.cols; q++ {
-			crow[q] += vp * row[q]
-		}
+		AxpyInto(c.cross[p*c.cols+p:(p+1)*c.cols], vp, row[p:])
 	}
 	return nil
 }
@@ -701,10 +698,7 @@ func (c *EWMACovAccumulator) Add(row []float64) error {
 	c.w2 = l*l*c.w2 + 1
 	for p, vp := range row {
 		c.sum[p] = l*c.sum[p] + vp
-		crow := c.cross[p*c.cols : (p+1)*c.cols]
-		for q := p; q < c.cols; q++ {
-			crow[q] = l*crow[q] + vp*row[q]
-		}
+		FMAInto(c.cross[p*c.cols+p:(p+1)*c.cols], l, row[p:], vp)
 	}
 	return nil
 }

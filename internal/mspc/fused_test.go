@@ -1,0 +1,134 @@
+package mspc
+
+import (
+	"math/rand"
+	"testing"
+
+	"pcsmon/internal/mat"
+)
+
+// TestComputeIntoMatchesComputeExact pins the fused single-sweep ComputeInto
+// against the naive chained path (ApplyRow → Project → statsFrom) with exact
+// equality — the fused kernels must not change a single bit of any D or Q
+// value, on both calibration paths (data and covariance).
+func TestComputeIntoMatchesComputeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	mon, x := calibrated(t, rng, 300, 13, 3, 4)
+
+	acc, err := mat.NewCovAccumulator(13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < x.Rows(); i++ {
+		if err := acc.Add(x.RowView(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cov, err := acc.Covariance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	monCov, err := CalibrateCov(cov, acc.Means(), acc.N(), WithComponents(4))
+	if err != nil {
+		t.Fatalf("CalibrateCov: %v", err)
+	}
+
+	fresh := correlatedNormal(rng, 500, 13, 3, 0.5)
+	for _, m := range []*Monitor{mon, monCov} {
+		scaled := make([]float64, 13)
+		scores := make([]float64, m.Model().NComponents())
+		for i := 0; i < fresh.Rows(); i++ {
+			row := fresh.RowView(i)
+			want, err := m.Compute(row)
+			if err != nil {
+				t.Fatalf("Compute: %v", err)
+			}
+			got, err := m.ComputeInto(row, scaled, scores)
+			if err != nil {
+				t.Fatalf("ComputeInto: %v", err)
+			}
+			if got != want {
+				t.Fatalf("row %d: fused %+v != naive %+v", i, got, want)
+			}
+		}
+	}
+}
+
+// BenchmarkComputeInto compares the fused single-sweep scoring kernel
+// against the naive chained Compute path. The fused case must report
+// 0 allocs/op; CI runs this in the bench-smoke step.
+func BenchmarkComputeInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(64))
+	x := correlatedNormal(rng, 300, 16, 3, 0.5)
+	mon, err := Calibrate(x, WithComponents(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	row := x.RowView(42)
+	var sink float64
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s, err := mon.Compute(row)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += s.D
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		scaled := make([]float64, 16)
+		scores := make([]float64, 5)
+		for i := 0; i < b.N; i++ {
+			s, err := mon.ComputeInto(row, scaled, scores)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink += s.D
+		}
+	})
+	_ = sink
+}
+
+// TestComputeIntoDimensionErrors pins the scratch-shape validation.
+func TestComputeIntoDimensionErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	mon, _ := calibrated(t, rng, 100, 8, 2, 3)
+	scaled := make([]float64, 8)
+	scores := make([]float64, 3)
+	if _, err := mon.ComputeInto(make([]float64, 7), scaled, scores); err == nil {
+		t.Fatal("expected row length error")
+	}
+	if _, err := mon.ComputeInto(make([]float64, 8), scaled[:7], scores); err == nil {
+		t.Fatal("expected scaled length error")
+	}
+	if _, err := mon.ComputeInto(make([]float64, 8), scaled, scores[:2]); err == nil {
+		t.Fatal("expected scores length error")
+	}
+}
+
+// TestComputeIntoZeroAlloc pins that the fused scoring sweep performs no
+// allocations at all.
+func TestComputeIntoZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	mon, _ := calibrated(t, rng, 200, 16, 3, 5)
+	row := make([]float64, 16)
+	for j := range row {
+		row[j] = rng.NormFloat64()*float64(j+1) + 100*float64(j)
+	}
+	scaled := make([]float64, 16)
+	scores := make([]float64, 5)
+	var sink float64
+	got := testing.AllocsPerRun(200, func() {
+		s, err := mon.ComputeInto(row, scaled, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += s.D + s.Q
+	})
+	if got != 0 {
+		t.Fatalf("ComputeInto: %v allocs/op, want 0", got)
+	}
+	_ = sink
+}

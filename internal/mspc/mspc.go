@@ -83,6 +83,18 @@ type Monitor struct {
 	// Calibration D/Q series, retained when calibrated from data (used for
 	// empirical limits and phase-I charts). Nil on the streaming path.
 	calD, calQ []float64
+
+	// Hot-path caches filled by initHot at calibration time, so the fused
+	// ComputeInto sweep never crosses a package boundary or touches a
+	// bounds-checked matrix accessor: frozen scaling parameters, the M×A
+	// loading matrix flattened row-major (stride = ncomp), and the retained
+	// eigenvalues. All read-only after calibration, like the rest of the
+	// monitor.
+	hotMeans []float64
+	hotStds  []float64
+	hotLoad  []float64
+	hotEig   []float64
+	ncomp    int
 }
 
 type config struct {
@@ -146,6 +158,7 @@ func Calibrate(x *mat.Matrix, opts ...Option) (*Monitor, error) {
 		return nil, fmt.Errorf("mspc: pca: %w", err)
 	}
 	m := &Monitor{scaler: scaler, model: model, method: cfg.speMethod}
+	m.initHot()
 
 	// Calibration statistics (needed for percentile limits and phase-I
 	// charts; cheap to keep in all cases).
@@ -218,10 +231,26 @@ func CalibrateCov(cov *mat.Matrix, means []float64, n int, opts ...Option) (*Mon
 		return nil, fmt.Errorf("mspc: pca: %w", err)
 	}
 	m := &Monitor{scaler: scaler, model: model, method: cfg.speMethod}
+	m.initHot()
 	if err := m.setLimits(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// initHot snapshots the scaling parameters, loading matrix (row-major) and
+// retained eigenvalues into flat slices for the fused ComputeInto sweep.
+func (m *Monitor) initHot() {
+	m.hotMeans = m.scaler.Means()
+	m.hotStds = m.scaler.Stds()
+	m.hotEig = m.model.Eigenvalues()
+	m.ncomp = m.model.NComponents()
+	nvars := m.model.NVars()
+	loadings := m.model.Loadings()
+	m.hotLoad = make([]float64, nvars*m.ncomp)
+	for j := 0; j < nvars; j++ {
+		copy(m.hotLoad[j*m.ncomp:(j+1)*m.ncomp], loadings.RowView(j))
+	}
 }
 
 func (m *Monitor) setLimits() error {
@@ -294,17 +323,47 @@ func (m *Monitor) Compute(row []float64) (Statistics, error) {
 
 // ComputeInto is Compute with caller-provided scratch: scaled (scaler
 // dimension) receives the preprocessed row, scores (NComponents) the PCA
-// projection. Neither allocation-free call changes the result — this is the
-// hot-path variant the per-stream detectors use.
+// projection. This is the hot-path variant the per-stream detectors use: a
+// single fused sweep over the row that scales, projects and accumulates ‖x‖²
+// in one pass through the cached row-major loadings, then derives D and Q —
+// zero allocations, zero cross-package calls, bit-identical to Compute
+// (every accumulator still sums in the same ascending-index order as the
+// naive chained implementation).
 func (m *Monitor) ComputeInto(row, scaled, scores []float64) (Statistics, error) {
-	scaled, err := m.scaler.ApplyRow(row, scaled)
-	if err != nil {
-		return Statistics{}, fmt.Errorf("mspc: %w", err)
+	nvars := len(m.hotMeans)
+	if len(row) != nvars {
+		return Statistics{}, fmt.Errorf("mspc: ComputeInto len %d != dim %d: %w", len(row), nvars, ErrBadInput)
 	}
-	if err := m.model.ProjectInto(scaled, scores); err != nil {
-		return Statistics{}, fmt.Errorf("mspc: %w", err)
+	if len(scaled) != nvars {
+		return Statistics{}, fmt.Errorf("mspc: ComputeInto scaled len %d != dim %d: %w", len(scaled), nvars, ErrBadInput)
 	}
-	return m.statsFrom(scaled, scores), nil
+	if len(scores) != m.ncomp {
+		return Statistics{}, fmt.Errorf("mspc: ComputeInto scores len %d != %d components: %w", len(scores), m.ncomp, ErrBadInput)
+	}
+	for a := range scores {
+		scores[a] = 0
+	}
+	var x2 float64
+	ncomp := m.ncomp
+	for j, v := range row {
+		s := (v - m.hotMeans[j]) / m.hotStds[j]
+		scaled[j] = s
+		x2 += s * s
+		mat.AxpyInto(scores, s, m.hotLoad[j*ncomp:(j+1)*ncomp])
+	}
+	var d, t2 float64
+	for a, tv := range scores {
+		if m.hotEig[a] > 1e-12 {
+			d += tv * tv / m.hotEig[a]
+		}
+		t2 += tv * tv
+	}
+	// Q = ‖x‖² − ‖t‖² (Pythagoras), clamped like statsFrom.
+	q := x2 - t2
+	if q < 0 {
+		q = 0
+	}
+	return Statistics{D: d, Q: q}, nil
 }
 
 // computeScaled computes D and Q for an already-preprocessed observation.

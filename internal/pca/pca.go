@@ -257,6 +257,11 @@ func (m *Model) Project(row []float64) ([]float64, error) {
 
 // ProjectInto is Project with a caller-provided destination of length
 // NComponents — the allocation-free hot-path variant.
+//
+// The sweep is row-major over the loading matrix (one unrolled axpy per
+// variable) instead of column-strided element access; for any fixed
+// component the partial products still accumulate in ascending variable
+// order, so the result is bit-identical to the naive column loop.
 func (m *Model) ProjectInto(row, dst []float64) error {
 	if len(row) != m.nvars {
 		return fmt.Errorf("pca: Project len %d != nvars %d: %w", len(row), m.nvars, ErrBadInput)
@@ -265,11 +270,27 @@ func (m *Model) ProjectInto(row, dst []float64) error {
 		return fmt.Errorf("pca: Project dst len %d != %d components: %w", len(dst), m.NComponents(), ErrBadInput)
 	}
 	for a := range dst {
-		var s float64
-		for j, v := range row {
-			s += m.loadings.At(j, a) * v
-		}
-		dst[a] = s
+		dst[a] = 0
+	}
+	for j, v := range row {
+		mat.AxpyInto(dst, v, m.loadings.RowView(j))
+	}
+	return nil
+}
+
+// ReconstructInto computes x̂ = P·t into dst (length NVars) from an
+// already-projected score vector t — the allocation-free core of
+// Reconstruct, also used by contribution analysis to form P·(t/λ) weight
+// vectors without materializing matrices.
+func (m *Model) ReconstructInto(scores, dst []float64) error {
+	if len(scores) != m.NComponents() {
+		return fmt.Errorf("pca: Reconstruct scores len %d != %d components: %w", len(scores), m.NComponents(), ErrBadInput)
+	}
+	if len(dst) != m.nvars {
+		return fmt.Errorf("pca: Reconstruct dst len %d != nvars %d: %w", len(dst), m.nvars, ErrBadInput)
+	}
+	for j := 0; j < m.nvars; j++ {
+		dst[j] = mat.DotUnrolled(m.loadings.RowView(j), scores)
 	}
 	return nil
 }
@@ -282,12 +303,8 @@ func (m *Model) Reconstruct(row []float64) ([]float64, error) {
 		return nil, err
 	}
 	out := make([]float64, m.nvars)
-	for j := 0; j < m.nvars; j++ {
-		var s float64
-		for a, tv := range t {
-			s += m.loadings.At(j, a) * tv
-		}
-		out[j] = s
+	if err := m.ReconstructInto(t, out); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
