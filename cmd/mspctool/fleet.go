@@ -46,7 +46,14 @@ import (
 //
 // With -record, every frame any listener receives is appended to a capture
 // file (see internal/fieldbus capture format) for later analysis or
-// `mspctool replay`.
+// `mspctool replay`. Adding any -record-segment-* / -record-keep-* flag
+// upgrades the recording to a durable segment chain: size/time-rotated,
+// index-sealed segments with retention pruning — a flight recorder that
+// runs forever in bounded space and survives SIGKILL with at most the last
+// -record-flush cadence of frames lost. With -dedup N, content-identical
+// frames arriving more than once within a sliding N-frame window (two
+// redundant collectors tapping the same wire) are suppressed before
+// pairing, so the second copy cannot pollute duplicate/loss accounting.
 //
 // Plants attach lazily on first sight; at end of input every stream is
 // detached and its classified report summarized, followed by the pool's
@@ -65,10 +72,17 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		listen      = fs.String("listen", "", "accept fieldbus frames on this TCP address instead of reading CSV from stdin")
 		listenUDP   = fs.String("listen-udp", "", "accept one fieldbus frame per datagram on this UDP address (lossy transport)")
 		record      = fs.String("record", "", "live mode: append every received frame to this capture file (replay with `mspctool replay`)")
+		recSegBytes = fs.Int64("record-segment-bytes", 0, "rotate -record into segment chains of this many bytes each (durable store mode; 0 with no other -record-* flag = one plain file)")
+		recSegSpan  = fs.Duration("record-segment-span", 0, "rotate -record segments when one covers this much capture time (durable store mode)")
+		recKeep     = fs.Int("record-keep", 0, "keep at most this many -record segments, oldest pruned (durable store mode; 0 = unlimited)")
+		recKeepB    = fs.Int64("record-keep-bytes", 0, "bound the -record chain's total size in bytes, oldest segments pruned (durable store mode; 0 = unlimited)")
+		recKeepAge  = fs.Duration("record-keep-age", 0, "prune -record segments more than this much capture time behind the newest record (durable store mode; 0 = unlimited)")
+		recFlush    = fs.Duration("record-flush", time.Second, "crash-durability flush cadence of the -record writer (< 0 = flush only at the end)")
 		maxObs      = fs.Int64("max-obs", 0, "live mode: stop after this many observations (0 = rely on -idle)")
 		idle        = fs.Duration("idle", 5*time.Second, "live mode: stop after this long without traffic")
 		pairWindow  = fs.Int("pair-window", 64, "live mode: reorder window for sensor/actuator frame pairing, in sequence numbers")
 		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "live mode: flush observations whose mate frame is this late (0 = never)")
+		dedup       = fs.Int("dedup", 0, "live mode: suppress content-identical frames seen within the last N frames (redundant collectors; 0 = off)")
 		batch       = fs.Int("batch", 0, "observations aggregated per worker delivery (0 = default 16, 1 = per-observation)")
 		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address while the fleet runs")
 	)
@@ -104,8 +118,14 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("mspctool fleet: -pair-timeout %v must be >= 0: %w", *pairTimeout, pcsmon.ErrBadConfig)
 	case *batch < 0:
 		return fmt.Errorf("mspctool fleet: -batch %d must be >= 0: %w", *batch, pcsmon.ErrBadConfig)
+	case *dedup < 0:
+		return fmt.Errorf("mspctool fleet: -dedup %d must be >= 0: %w", *dedup, pcsmon.ErrBadConfig)
+	case *recSegBytes < 0 || *recSegSpan < 0 || *recKeep < 0 || *recKeepB < 0 || *recKeepAge < 0:
+		return fmt.Errorf("mspctool fleet: -record-segment-bytes/-record-segment-span/-record-keep/-record-keep-bytes/-record-keep-age must be >= 0: %w", pcsmon.ErrBadConfig)
+	case *record == "" && (*recSegBytes != 0 || *recSegSpan != 0 || *recKeep != 0 || *recKeepB != 0 || *recKeepAge != 0):
+		return fmt.Errorf("mspctool fleet: -record-segment-*/-record-keep-* require -record: %w", pcsmon.ErrBadConfig)
 	case !live && liveFlagSet(fs):
-		return fmt.Errorf("mspctool fleet: -record/-max-obs/-idle/-pair-window/-pair-timeout only apply with -listen/-listen-udp: %w", pcsmon.ErrBadConfig)
+		return fmt.Errorf("mspctool fleet: -record*/-dedup/-max-obs/-idle/-pair-window/-pair-timeout only apply with -listen/-listen-udp: %w", pcsmon.ErrBadConfig)
 	}
 	adaptive, err := adaptiveFlags(fs, "mspctool fleet", *adaptEvery, *adaptForget)
 	if err != nil {
@@ -142,10 +162,17 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 			tcpAddr:     *listen,
 			udpAddr:     *listenUDP,
 			record:      *record,
+			recSegBytes: *recSegBytes,
+			recSegSpan:  *recSegSpan,
+			recKeep:     *recKeep,
+			recKeepB:    *recKeepB,
+			recKeepAge:  *recKeepAge,
+			recFlush:    *recFlush,
 			maxObs:      *maxObs,
 			idle:        *idle,
 			pairWindow:  *pairWindow,
 			pairTimeout: *pairTimeout,
+			dedup:       *dedup,
 			onset:       onset,
 		}, out)
 	} else {
@@ -221,7 +248,9 @@ func liveFlagSet(fs *flag.FlagSet) bool {
 	set := false
 	fs.Visit(func(f *flag.Flag) {
 		switch f.Name {
-		case "record", "max-obs", "idle", "pair-window", "pair-timeout":
+		case "record", "record-segment-bytes", "record-segment-span", "record-keep",
+			"record-keep-bytes", "record-keep-age", "record-flush",
+			"max-obs", "idle", "pair-window", "pair-timeout", "dedup":
 			set = true
 		}
 	})
@@ -333,12 +362,115 @@ func demuxFleetCSV(in io.Reader, feed func(plant string, row []float64) error) e
 type liveConfig struct {
 	tcpAddr     string // TCP listener ("" = disabled)
 	udpAddr     string // UDP listener ("" = disabled)
-	record      string // capture file path ("" = no recording)
+	record      string // capture file path or chain base ("" = no recording)
+	recSegBytes int64
+	recSegSpan  time.Duration
+	recKeep     int
+	recKeepB    int64
+	recKeepAge  time.Duration
+	recFlush    time.Duration
 	maxObs      int64
 	idle        time.Duration
 	pairWindow  int
 	pairTimeout time.Duration
+	dedup       int
 	onset       int
+}
+
+// storeMode reports whether any rotation/retention flag asked for the
+// durable segment-chain recorder instead of the single-file capture.
+func (c liveConfig) storeMode() bool {
+	return c.recSegBytes != 0 || c.recSegSpan != 0 ||
+		c.recKeep != 0 || c.recKeepB != 0 || c.recKeepAge != 0
+}
+
+// frameRecorder abstracts the two -record backends behind one contract:
+// Record appends a frame, Flush pushes the buffered tail to the OS (crash
+// durability), Abandon discards a half-made recording on startup failure,
+// and Finalize lands the finished one.
+type frameRecorder interface {
+	Record(f *fieldbus.Frame) error
+	Flush() error
+	Abandon()
+	Finalize() error
+	Frames() uint64
+	Span() time.Duration
+	// Target describes where the recording landed, for the summary line.
+	Target() string
+}
+
+// fileRecorder is the single-file backend: it writes to a sibling .tmp
+// file that is renamed into place on completion — a failed startup (bad
+// listen address) must not destroy an existing capture at the target path,
+// and a half-written file is clearly marked as such. The periodic Flush
+// makes the .tmp itself crash-durable: a recorder killed mid-run leaves
+// the flushed prefix readable (the capture reader tolerates its truncated
+// tail as a typed warning).
+type fileRecorder struct {
+	cw   *fieldbus.CaptureWriter
+	f    *os.File
+	tmp  string
+	dest string
+}
+
+func newFileRecorder(dest string) (*fileRecorder, error) {
+	tmp := dest + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("mspctool fleet: -record: %w", err)
+	}
+	cw, err := fieldbus.NewCaptureWriter(f)
+	if err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return nil, err
+	}
+	return &fileRecorder{cw: cw, f: f, tmp: tmp, dest: dest}, nil
+}
+
+func (r *fileRecorder) Record(f *fieldbus.Frame) error { return r.cw.Record(f) }
+func (r *fileRecorder) Flush() error                   { return r.cw.Flush() }
+func (r *fileRecorder) Frames() uint64                 { return r.cw.Frames() }
+func (r *fileRecorder) Span() time.Duration            { return r.cw.Span() }
+func (r *fileRecorder) Target() string                 { return r.dest }
+
+func (r *fileRecorder) Abandon() {
+	_ = r.f.Close()
+	_ = os.Remove(r.tmp)
+}
+
+func (r *fileRecorder) Finalize() error {
+	if err := r.cw.Flush(); err != nil {
+		return err
+	}
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("mspctool fleet: -record: %w", err)
+	}
+	if err := os.Rename(r.tmp, r.dest); err != nil {
+		return fmt.Errorf("mspctool fleet: -record: %w", err)
+	}
+	return nil
+}
+
+// storeRecorder is the durable segment-chain backend over a CaptureStore:
+// rotation seals segments (index sidecar + fsync) as it goes, so there is
+// no rename step — everything sealed is already final, and the unsealed
+// active segment is flushed on the store's own cadence plus the ticker's.
+type storeRecorder struct {
+	st   *fieldbus.CaptureStore
+	base string
+}
+
+func (r *storeRecorder) Record(f *fieldbus.Frame) error { return r.st.Record(f) }
+func (r *storeRecorder) Flush() error                   { return r.st.Flush() }
+func (r *storeRecorder) Abandon()                       { r.st.Abandon() }
+func (r *storeRecorder) Finalize() error                { return r.st.Close() }
+func (r *storeRecorder) Frames() uint64                 { return r.st.Frames() }
+func (r *storeRecorder) Span() time.Duration            { return r.st.Span() }
+
+func (r *storeRecorder) Target() string {
+	stats := r.st.Stats()
+	return fmt.Sprintf("%s (%d segments, %d pruned)", r.base, stats.Segments, stats.Pruned)
 }
 
 // serveFleetLive accepts fieldbus frames over TCP and/or UDP and routes
@@ -371,6 +503,7 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 		Window:  cfg.pairWindow,
 		Timeout: cfg.pairTimeout,
 		Onset:   cfg.onset,
+		Dedup:   cfg.dedup,
 		OnAttach: func(plant string) {
 			mu.Lock()
 			fmt.Fprintf(out, "plant %s attached\n", plant)
@@ -391,52 +524,48 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 	}
 
 	// Optional capture recorder: one writer, shared by every listener's
-	// receive goroutine. It writes to a sibling .tmp file that is renamed
-	// into place on completion — a failed startup (bad listen address)
-	// must not destroy an existing capture at the target path, and a
-	// half-written file is clearly marked as such.
+	// receive goroutine. Plain -record is the single-file .tmp+rename
+	// backend; any rotation/retention flag selects the durable segment
+	// chain (see frameRecorder for both contracts).
 	var (
-		recMu   sync.Mutex
-		rec     *fieldbus.CaptureWriter
-		recFile *os.File
-		recTmp  string
+		recMu sync.Mutex
+		rec   frameRecorder
 	)
 	if cfg.record != "" {
-		recTmp = cfg.record + ".tmp"
-		recFile, err = os.Create(recTmp)
-		if err != nil {
-			return nil, fmt.Errorf("mspctool fleet: -record: %w", err)
-		}
-		rec, err = fieldbus.NewCaptureWriter(recFile)
-		if err != nil {
-			_ = recFile.Close()
-			_ = os.Remove(recTmp)
-			return nil, err
+		if cfg.storeMode() {
+			st, serr := fieldbus.OpenCaptureStore(cfg.record, fieldbus.StoreOptions{
+				SegmentBytes: cfg.recSegBytes,
+				SegmentSpan:  cfg.recSegSpan,
+				KeepSegments: cfg.recKeep,
+				KeepBytes:    cfg.recKeepB,
+				KeepAge:      cfg.recKeepAge,
+				FlushEvery:   cfg.recFlush,
+			})
+			if serr != nil {
+				return nil, fmt.Errorf("mspctool fleet: -record: %w", serr)
+			}
+			rec = &storeRecorder{st: st, base: cfg.record}
+		} else {
+			fr, ferr := newFileRecorder(cfg.record)
+			if ferr != nil {
+				return nil, ferr
+			}
+			rec = fr
 		}
 	}
 	// abandonRec discards the half-made recording on startup failures;
-	// finalizeRec lands it — flush, close, rename — and runs even when
-	// ingestion failed, so the post-mortem data survives.
+	// finalizeRec lands it and runs even when ingestion failed, so the
+	// post-mortem data survives.
 	abandonRec := func() {
 		if rec != nil {
-			_ = recFile.Close()
-			_ = os.Remove(recTmp)
+			rec.Abandon()
 		}
 	}
 	finalizeRec := func() error {
 		if rec == nil {
 			return nil
 		}
-		if err := rec.Flush(); err != nil {
-			return err
-		}
-		if err := recFile.Close(); err != nil {
-			return fmt.Errorf("mspctool fleet: -record: %w", err)
-		}
-		if err := os.Rename(recTmp, cfg.record); err != nil {
-			return fmt.Errorf("mspctool fleet: -record: %w", err)
-		}
-		return nil
+		return rec.Finalize()
 	}
 
 	// ingest is the shared frame handler behind both transports. The frame
@@ -495,6 +624,7 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
+	lastRecFlush := time.Now()
 	running := true
 	for running {
 		select {
@@ -524,6 +654,20 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 				}
 				mu.Unlock()
 				running = false
+			}
+			// Crash-durability cadence: the recorder's buffered tail goes to
+			// the OS every recFlush even during traffic lulls (the write-path
+			// cadence only fires when frames arrive), so a SIGKILL at any
+			// point loses at most the last cadence worth of frames.
+			if rec != nil && cfg.recFlush > 0 && time.Since(lastRecFlush) >= cfg.recFlush {
+				recMu.Lock()
+				ferr := rec.Flush()
+				recMu.Unlock()
+				lastRecFlush = time.Now()
+				if ferr != nil {
+					fail(ferr)
+					running = false
+				}
 			}
 			if time.Since(time.Unix(0, lastSeen.Load())) > cfg.idle {
 				running = false
@@ -557,12 +701,15 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 	st := pi.Stats()
 	mu.Lock()
 	printPairingSummary(out, st)
+	if cfg.dedup > 0 {
+		fmt.Fprintf(out, "dedup: %d redundant frames suppressed (window %d)\n", pi.Deduped(), cfg.dedup)
+	}
 	if udpSrv != nil {
 		ust := udpSrv.Stats()
 		fmt.Fprintf(out, "udp: %d datagrams received, %d corrupt dropped\n", ust.Datagrams, ust.Corrupt)
 	}
 	if rec != nil {
-		fmt.Fprintf(out, "recorded %d frames (%v span) to %s\n", rec.Frames(), rec.Span().Round(time.Millisecond), cfg.record)
+		fmt.Fprintf(out, "recorded %d frames (%v span) to %s\n", rec.Frames(), rec.Span().Round(time.Millisecond), rec.Target())
 	}
 	mu.Unlock()
 	return pi.Plants(), nil

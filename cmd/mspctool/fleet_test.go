@@ -481,6 +481,13 @@ func TestFleetFlagValidation(t *testing.T) {
 		{"-cal", cal, "-pair-window", "16"},  // TCP-only flag without -listen
 		{"-cal", cal, "-pair-timeout", "1s"}, // TCP-only flag without -listen
 		{"-cal", cal, "-record", "x.cap"},    // live-only flag without a listener
+		{"-cal", cal, "-dedup", "4"},         // live-only flag without a listener
+		{"-cal", cal, "-record-flush", "2s"}, // live-only flag without a listener
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-dedup", "-1"},
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-record", "x.cap", "-record-segment-bytes", "-1"},
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-record", "x.cap", "-record-keep-age", "-1s"},
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-record-segment-bytes", "4096"}, // rotation without -record
+		{"-cal", cal, "-listen", "127.0.0.1:0", "-record-keep", "3"},             // retention without -record
 		{"-cal", cal, "-adapt-every", "-10"},
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "1.5"},
 		{"-cal", cal, "-adapt-every", "100", "-adapt-forget", "0"},
@@ -699,52 +706,7 @@ func TestFleetRecordThenReplay(t *testing.T) {
 			"-idle", "30s",
 		}, strings.NewReader(""), &out)
 	}()
-	var addr string
-	deadline := time.Now().Add(10 * time.Second)
-	for addr == "" {
-		if time.Now().After(deadline) {
-			t.Fatalf("listener address never printed:\n%s", out.String())
-		}
-		for _, line := range strings.Split(out.String(), "\n") {
-			if rest, ok := strings.CutPrefix(line, "listening on "); ok && !strings.HasPrefix(rest, "udp://") {
-				addr = rest
-			}
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	cli, err := fieldbus.Dial(addr)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = cli.Close() }()
-	rng := rand.New(rand.NewSource(3))
-	m := historian.NumVars
-	w := make([]float64, m)
-	for j := range w {
-		w[j] = rng.NormFloat64()
-	}
-	for i := 0; i < rows; i++ {
-		z := rng.NormFloat64()
-		ctrl := make([]float64, m)
-		for j := 0; j < m; j++ {
-			ctrl[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
-		}
-		proc := append([]float64(nil), ctrl...)
-		if i >= shift {
-			ctrl[0] -= 30
-			proc[0] += 30
-		}
-		if err := cli.Send(&fieldbus.Frame{
-			Type: fieldbus.FrameSensor, Unit: 0, Seq: uint64(i + 1), Values: ctrl,
-		}); err != nil {
-			t.Fatal(err)
-		}
-		if err := cli.Send(&fieldbus.Frame{
-			Type: fieldbus.FrameActuator, Unit: 0, Seq: uint64(i + 1), Values: proc,
-		}); err != nil {
-			t.Fatal(err)
-		}
-	}
+	feedTwoViewTCP(t, &out, rows, shift)
 	select {
 	case err := <-errCh:
 		if err != nil {
@@ -762,7 +724,7 @@ func TestFleetRecordThenReplay(t *testing.T) {
 	}
 
 	var replayOut bytes.Buffer
-	err = runReplay([]string{
+	err := runReplay([]string{
 		"-cal", cal,
 		"-capture", capPath,
 		"-speed", "0",
@@ -811,5 +773,221 @@ func TestFleetRecordStartupFailureKeepsExistingCapture(t *testing.T) {
 	}
 	if _, serr := os.Stat(capPath + ".tmp"); serr == nil {
 		t.Error("abandoned .tmp recording left behind")
+	}
+}
+
+// feedTwoViewTCP drives a live fleet run's TCP listener with `rows` paired
+// observations of unit 0, forging channel 0 from row `shift` on (shift >=
+// rows = pure NOC). It waits for the listener address line first.
+func feedTwoViewTCP(t *testing.T, out *syncBuffer, rows, shift int) {
+	t.Helper()
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("listener address never printed:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "listening on "); ok && !strings.HasPrefix(rest, "udp://") {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli, err := fieldbus.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		z := rng.NormFloat64()
+		ctrl := make([]float64, m)
+		for j := 0; j < m; j++ {
+			ctrl[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		proc := append([]float64(nil), ctrl...)
+		if i >= shift {
+			ctrl[0] -= 30
+			proc[0] += 30
+		}
+		if err := cli.Send(&fieldbus.Frame{
+			Type: fieldbus.FrameSensor, Unit: 0, Seq: uint64(i + 1), Values: ctrl,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Send(&fieldbus.Frame{
+			Type: fieldbus.FrameActuator, Unit: 0, Seq: uint64(i + 1), Values: proc,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestFleetRecordRotatedThenReplay: with a rotation flag, -record writes a
+// durable segment chain instead of one file — sealed, indexed segments
+// that `mspctool replay` plays back to the same verdicts as the live run.
+func TestFleetRecordRotatedThenReplay(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	base := filepath.Join(dir, "chain")
+
+	const (
+		rows  = 200
+		shift = 100
+	)
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runFleet([]string{
+			"-cal", cal,
+			"-sample", "9",
+			"-onset-hour", "0.25",
+			"-listen", "127.0.0.1:0",
+			"-record", base,
+			"-record-segment-bytes", "32768", // ~450 B/record: rotate every ~72
+			"-max-obs", fmt.Sprint(rows),
+			"-idle", "30s",
+		}, strings.NewReader(""), &out)
+	}()
+	feedTwoViewTCP(t, &out, rows, shift)
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet record: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("fleet record never finished:\n%s", out.String())
+	}
+	liveText := out.String()
+	for _, want := range []string{
+		"plant unit-000: integrity-attack",
+		fmt.Sprintf("recorded %d frames", 2*rows),
+		"segments",
+		base,
+	} {
+		if !strings.Contains(liveText, want) {
+			t.Errorf("live output missing %q:\n%s", want, liveText)
+		}
+	}
+
+	// The chain on disk: rotated segments, every one sealed with its index
+	// sidecar (the run closed cleanly), and no plain file at the base path.
+	segs, err := filepath.Glob(base + ".*.pcscap")
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("recording did not rotate: %v segments, %v\n%s", segs, err, liveText)
+	}
+	for _, seg := range segs {
+		if _, serr := os.Stat(strings.TrimSuffix(seg, ".pcscap") + ".pcsidx"); serr != nil {
+			t.Errorf("segment %s not sealed: %v", seg, serr)
+		}
+	}
+	if _, serr := os.Stat(base); serr == nil {
+		t.Errorf("plain capture file written alongside the chain")
+	}
+
+	var replayOut bytes.Buffer
+	err = runReplay([]string{
+		"-cal", cal,
+		"-capture", base,
+		"-speed", "0",
+		"-sample", "9",
+		"-onset-hour", "0.25",
+	}, &replayOut)
+	if err != nil {
+		t.Fatalf("replay of chain: %v\n%s", err, replayOut.String())
+	}
+	replayText := replayOut.String()
+	for _, want := range []string{
+		fmt.Sprintf("(%d segments)", len(segs)),
+		"plant unit-000 attached",
+		"ALARM [unit-000/",
+		"plant unit-000: integrity-attack",
+		fmt.Sprintf("replay: %d frames", 2*rows),
+	} {
+		if !strings.Contains(replayText, want) {
+			t.Errorf("replayed chain missing %q:\n%s", want, replayText)
+		}
+	}
+}
+
+// TestFleetRecordFlushDurability: the -record-flush cadence pushes the
+// recording's buffered tail to the OS while the run is still live, so a
+// recorder killed mid-run loses at most one cadence of frames. Proven by
+// reading the in-progress .tmp recording from the outside before the run
+// ends — without the cadence, everything sits in the bufio buffer until
+// the final flush and the prefix would be unreadable.
+func TestFleetRecordFlushDurability(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	capPath := filepath.Join(dir, "live.cap")
+
+	const rows = 40
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- runFleet([]string{
+			"-cal", cal,
+			"-sample", "9",
+			"-listen", "127.0.0.1:0",
+			"-record", capPath,
+			"-record-flush", "50ms",
+			"-idle", "2s",
+		}, strings.NewReader(""), &out)
+	}()
+	feedTwoViewTCP(t, &out, rows, rows) // pure NOC
+
+	// readableFrames counts the decodable prefix, tolerating a tail cut
+	// mid-record by a flush racing this read.
+	readableFrames := func(path string) uint64 {
+		cr, err := fieldbus.OpenCaptureChain(path, fieldbus.ChainOptions{})
+		if err != nil {
+			return 0
+		}
+		defer func() { _ = cr.Close() }()
+		for {
+			if _, _, err := cr.Next(); err != nil {
+				return cr.Delivered()
+			}
+		}
+	}
+
+	// All frames are on the wire; the 50ms cadence must make every one of
+	// them readable from the live .tmp file well before the 2s idle stop
+	// renames it into place.
+	deadline := time.Now().Add(10 * time.Second)
+	for readableFrames(capPath+".tmp") < 2*rows {
+		if time.Now().After(deadline) {
+			t.Fatalf("flushed prefix never became readable (got %d of %d frames):\n%s",
+				readableFrames(capPath+".tmp"), 2*rows, out.String())
+		}
+		select {
+		case err := <-errCh:
+			t.Fatalf("run finished before the flushed prefix was observed: %v\n%s", err, out.String())
+		default:
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("fleet record: %v\n%s", err, out.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("fleet record never finished:\n%s", out.String())
+	}
+	if got := readableFrames(capPath); got != 2*rows {
+		t.Errorf("finalized capture holds %d frames, want %d", got, 2*rows)
+	}
+	if _, serr := os.Stat(capPath + ".tmp"); serr == nil {
+		t.Error("finalized recording left its .tmp behind")
 	}
 }

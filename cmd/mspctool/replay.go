@@ -1,11 +1,9 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
-	"os"
 	"sort"
 	"sync/atomic"
 	"time"
@@ -32,8 +30,11 @@ func runReplay(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("mspctool replay", flag.ContinueOnError)
 	var (
 		calPath     = fs.String("cal", "", "NOC calibration CSV (required)")
-		capPath     = fs.String("capture", "", "capture file to replay (required)")
+		capPath     = fs.String("capture", "", "capture file or segment-chain base to replay (required)")
 		speed       = fs.Float64("speed", 0, "replay speed-up factor (1 = real time, 0 = as fast as possible)")
+		from        = fs.Duration("from", 0, "replay only records at or after this capture-relative time (segments outside the window are skipped via their index)")
+		to          = fs.Duration("to", 0, "replay only records at or before this capture-relative time (0 = to the end)")
+		dedup       = fs.Int("dedup", 0, "suppress content-identical frames seen within the last N frames (two-tap captures; 0 = off)")
 		sampleSec   = fs.Float64("sample", 4.5, "observation interval of the captured streams [s]")
 		onsetHour   = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known (applies to every plant)")
 		components  = fs.Int("components", 0, "PCA components (0 = 90% cumulative variance rule)")
@@ -70,6 +71,12 @@ func runReplay(args []string, out io.Writer) error {
 		return fmt.Errorf("mspctool replay: -pair-timeout %v must be >= 0: %w", *pairTimeout, pcsmon.ErrBadConfig)
 	case *batch < 0:
 		return fmt.Errorf("mspctool replay: -batch %d must be >= 0: %w", *batch, pcsmon.ErrBadConfig)
+	case *from < 0 || *to < 0:
+		return fmt.Errorf("mspctool replay: -from %v / -to %v must be >= 0: %w", *from, *to, pcsmon.ErrBadConfig)
+	case *to > 0 && *to < *from:
+		return fmt.Errorf("mspctool replay: -to %v is before -from %v: %w", *to, *from, pcsmon.ErrBadConfig)
+	case *dedup < 0:
+		return fmt.Errorf("mspctool replay: -dedup %d must be >= 0: %w", *dedup, pcsmon.ErrBadConfig)
 	}
 	if *pprofAddr != "" {
 		pp, err := startPprof(*pprofAddr, out)
@@ -79,15 +86,14 @@ func runReplay(args []string, out io.Writer) error {
 		defer func() { _ = pp.Close() }()
 	}
 
-	capFile, err := os.Open(*capPath)
+	// A chain reader replays either a single capture file or the rotated
+	// segment chain a durable -record store wrote, as one stream; the
+	// -from/-to window seeks via the sealed segments' index sidecars.
+	cr, err := fieldbus.OpenCaptureChain(*capPath, fieldbus.ChainOptions{From: *from, To: *to})
 	if err != nil {
-		return err
+		return fmt.Errorf("mspctool replay: %w", err)
 	}
-	defer func() { _ = capFile.Close() }()
-	cr, err := fieldbus.NewCaptureReader(bufio.NewReaderSize(capFile, 1<<16))
-	if err != nil {
-		return fmt.Errorf("%s: %w", *capPath, err)
-	}
+	defer func() { _ = cr.Close() }()
 
 	sys, err := calibrateFrom(*calPath, *components, out)
 	if err != nil {
@@ -121,6 +127,7 @@ func runReplay(args []string, out io.Writer) error {
 		Timeout: *pairTimeout,
 		Onset:   onset,
 		Clock:   clock,
+		Dedup:   *dedup,
 		OnAttach: func(plant string) {
 			fmt.Fprintf(out, "plant %s attached\n", plant)
 		},
@@ -135,10 +142,20 @@ func runReplay(args []string, out io.Writer) error {
 	}
 
 	fmt.Fprintf(out, "replaying %s", *capPath)
+	if cr.Segments() > 1 {
+		fmt.Fprintf(out, " (%d segments)", cr.Segments())
+	}
 	if *speed > 0 {
 		fmt.Fprintf(out, " at %gx", *speed)
 	} else {
 		fmt.Fprint(out, " unpaced")
+	}
+	if *from > 0 || *to > 0 {
+		end := "end"
+		if *to > 0 {
+			end = (*to).String()
+		}
+		fmt.Fprintf(out, ", window [%v, %s]", *from, end)
 	}
 	fmt.Fprintln(out)
 
@@ -152,13 +169,10 @@ func runReplay(args []string, out io.Writer) error {
 			break
 		}
 		if err != nil {
-			// A recording monitor that died uncleanly (kill, crash, power
-			// loss) leaves a capture ending mid-record — exactly the
-			// post-mortem a replay is for. Score the readable prefix and
-			// say so, instead of discarding everything over the tail.
-			fmt.Fprintf(out, "warning: %s: %v — replaying the %d readable frames\n",
-				*capPath, err, cr.Frames())
-			break
+			// Mid-chain damage is real corruption (the chain reader already
+			// tolerates the one legitimate form of damage — a truncated tail
+			// in an unsealed final segment — by itself; see below).
+			return fail(fmt.Errorf("mspctool replay: %w", err))
 		}
 		if !started {
 			first, started = ts, true
@@ -185,6 +199,14 @@ func runReplay(args []string, out io.Writer) error {
 			}
 		}
 	}
+	if terr := cr.Truncated(); terr != nil {
+		// A recording monitor that died uncleanly (kill, crash, power loss)
+		// leaves its unsealed final segment ending mid-record — exactly the
+		// post-mortem a replay is for. Score the readable prefix and say so,
+		// instead of discarding everything over the tail.
+		fmt.Fprintf(out, "warning: %s: %v — replaying the %d readable frames\n",
+			*capPath, terr, cr.Delivered())
+	}
 	if err := pi.Flush(); err != nil {
 		return fail(err)
 	}
@@ -205,13 +227,19 @@ func runReplay(args []string, out io.Writer) error {
 	st := pi.Stats()
 	wall := time.Since(wallStart)
 	printPairingSummary(out, st)
+	if *dedup > 0 {
+		fmt.Fprintf(out, "dedup: %d redundant frames suppressed (window %d)\n", pi.Deduped(), *dedup)
+	}
+	if cr.SegmentsSkipped() > 0 {
+		fmt.Fprintf(out, "window seek: %d of %d segments skipped via index\n", cr.SegmentsSkipped(), cr.Segments())
+	}
 	printPlantReports(out, ids, printer)
 	effective := "∞"
 	if wall > 0 && span > 0 {
 		effective = fmt.Sprintf("%.0f", float64(span)/float64(wall))
 	}
 	fmt.Fprintf(out, "\nreplay: %d frames, capture span %v in %v (%sx effective), %d plants, %d observations, %d alarms\n",
-		cr.Frames(), span.Round(time.Millisecond), wall.Round(time.Millisecond),
+		cr.Delivered(), span.Round(time.Millisecond), wall.Round(time.Millisecond),
 		effective, stats.Attached, stats.Observations, stats.Alarms)
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"errors"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -17,21 +18,13 @@ import (
 	"pcsmon/internal/historian"
 )
 
-// writeTwoViewCapture synthesizes a capture of a two-unit plant fleet:
+// twoViewFrames synthesizes the frame stream of a two-unit plant fleet
+// and hands each frame to emit with its capture-relative timestamp:
 // unit 0 stays in control, unit 1's channel 0 is forged from row `shift`
 // on (the two views disagree — the cross-view integrity signature).
 // Observations are spaced `step` apart on the capture timeline.
-func writeTwoViewCapture(t *testing.T, path string, rows, shift int, step time.Duration) {
+func twoViewFrames(t *testing.T, rows, shift int, step time.Duration, emit func(*fieldbus.Frame, time.Duration)) {
 	t.Helper()
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer func() { _ = f.Close() }()
-	cw, err := fieldbus.NewCaptureWriter(f)
-	if err != nil {
-		t.Fatal(err)
-	}
 	rng := rand.New(rand.NewSource(3))
 	m := historian.NumVars
 	w := make([]float64, m)
@@ -51,19 +44,56 @@ func writeTwoViewCapture(t *testing.T, path string, rows, shift int, step time.D
 				ctrl[0] -= 30
 				proc[0] += 30
 			}
-			if err := cw.WriteAt(&fieldbus.Frame{
+			emit(&fieldbus.Frame{
 				Type: fieldbus.FrameSensor, Unit: uint8(u), Seq: uint64(i + 1), Values: ctrl,
-			}, at); err != nil {
-				t.Fatal(err)
-			}
-			if err := cw.WriteAt(&fieldbus.Frame{
+			}, at)
+			emit(&fieldbus.Frame{
 				Type: fieldbus.FrameActuator, Unit: uint8(u), Seq: uint64(i + 1), Values: proc,
-			}, at); err != nil {
-				t.Fatal(err)
-			}
+			}, at)
 		}
 	}
+}
+
+// writeTwoViewCapture records the twoViewFrames stream into a single
+// plain capture file.
+func writeTwoViewCapture(t *testing.T, path string, rows, shift int, step time.Duration) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = f.Close() }()
+	cw, err := fieldbus.NewCaptureWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoViewFrames(t, rows, shift, step, func(fr *fieldbus.Frame, at time.Duration) {
+		if err := cw.WriteAt(fr, at); err != nil {
+			t.Fatal(err)
+		}
+	})
 	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// writeTwoViewStore records the same stream through a CaptureStore,
+// producing a rotated, index-sealed segment chain at base.
+func writeTwoViewStore(t *testing.T, base string, rows, shift int, step time.Duration, segBytes int64) {
+	t.Helper()
+	st, err := fieldbus.OpenCaptureStore(base, fieldbus.StoreOptions{
+		SegmentBytes: segBytes,
+		FlushEvery:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoViewFrames(t, rows, shift, step, func(fr *fieldbus.Frame, at time.Duration) {
+		if err := st.WriteAt(fr, at); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if err := st.Close(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -206,6 +236,161 @@ func TestReplayPairTimeoutUsesCaptureTime(t *testing.T) {
 	}
 }
 
+// TestReplayRotatedChainAndWindow: a segment chain written by the durable
+// capture store replays through the same CLI path as a single file — same
+// verdicts — and a -from window seeks past the out-of-window segments via
+// their index sidecars instead of scanning them.
+func TestReplayRotatedChainAndWindow(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	base := filepath.Join(dir, "chain")
+	const (
+		rows  = 200
+		shift = 100
+	)
+	// ~450 B/record, 4 frames/row: 32 KiB segments rotate every ~72 records.
+	writeTwoViewStore(t, base, rows, shift, 20*time.Millisecond, 32<<10)
+	segs, err := filepath.Glob(base + ".*.pcscap")
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("store did not rotate: %v segments, %v", segs, err)
+	}
+
+	var out bytes.Buffer
+	err = runReplay([]string{
+		"-cal", cal,
+		"-capture", base,
+		"-speed", "0",
+		"-sample", "9",
+		"-onset-hour", "0.25",
+	}, &out)
+	if err != nil {
+		t.Fatalf("chain replay: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		fmt.Sprintf("(%d segments)", len(segs)),
+		"plant unit-000: normal",
+		"ALARM [unit-001/",
+		"plant unit-001: integrity-attack",
+		fmt.Sprintf("replay: %d frames", 4*rows),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("chain replay output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Tail window: rows 100..199 live at [2s, 4s); the segments holding the
+	// first half of the capture must be skipped via their indexes.
+	out.Reset()
+	err = runReplay([]string{
+		"-cal", cal,
+		"-capture", base,
+		"-speed", "0",
+		"-sample", "9",
+		"-from", "2s",
+	}, &out)
+	if err != nil {
+		t.Fatalf("window replay: %v\n%s", err, out.String())
+	}
+	text = out.String()
+	for _, want := range []string{
+		"window [2s, end]",
+		"segments skipped via index",
+		fmt.Sprintf("replay: %d frames", 4*(rows-shift)),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("window replay output missing %q:\n%s", want, text)
+		}
+	}
+	if m := regexp.MustCompile(`window seek: (\d+) of \d+ segments skipped`).FindStringSubmatch(text); m == nil || m[1] == "0" {
+		t.Errorf("no segments skipped by the window seek:\n%s", text)
+	}
+}
+
+// TestReplayDedupSuppressesTwoTap: a capture where a second collector
+// recorded an identical copy of every frame replays clean with -dedup —
+// the copies are suppressed before pairing — and honestly reports the
+// duplicate flood without it.
+func TestReplayDedupSuppressesTwoTap(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	cap := filepath.Join(dir, "twotap.cap")
+
+	f, err := os.Create(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := fieldbus.NewCaptureWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 64
+	// Same latent structure as the calibration CSV (seed 3): NOC traffic.
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		z := rng.NormFloat64()
+		row := make([]float64, m)
+		for j := range row {
+			row[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		at := time.Duration(i) * 20 * time.Millisecond
+		for _, typ := range []fieldbus.FrameType{fieldbus.FrameSensor, fieldbus.FrameActuator} {
+			fr := &fieldbus.Frame{Type: typ, Unit: 0, Seq: uint64(i + 1), Values: row}
+			for tap := 0; tap < 2; tap++ {
+				if err := cw.WriteAt(fr, at); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(extra ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		args := append([]string{"-cal", cal, "-capture", cap, "-speed", "0", "-sample", "9"}, extra...)
+		if err := runReplay(args, &out); err != nil {
+			t.Fatalf("replay %v: %v\n%s", extra, err, out.String())
+		}
+		return out.String()
+	}
+
+	text := run("-dedup", "8")
+	for _, want := range []string{
+		fmt.Sprintf("dedup: %d redundant frames suppressed (window 8)", 2*rows),
+		fmt.Sprintf("pairing: %d frames -> %d paired", 2*rows, rows),
+		" 0 dup,",
+		"plant unit-000: normal",
+		fmt.Sprintf("replay: %d frames", 4*rows),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("dedup replay output missing %q:\n%s", want, text)
+		}
+	}
+
+	// Without -dedup the second tap must surface as duplicate accounting,
+	// not silently merge.
+	text = run()
+	if !strings.Contains(text, fmt.Sprintf(" %d dup,", 2*rows)) {
+		t.Errorf("duplicate flood unreported without -dedup:\n%s", text)
+	}
+	if strings.Contains(text, "dedup:") {
+		t.Errorf("dedup summary printed with dedup off:\n%s", text)
+	}
+}
+
 func TestReplayFlagValidation(t *testing.T) {
 	dir := t.TempDir()
 	cal := filepath.Join(dir, "cal.csv")
@@ -222,6 +407,10 @@ func TestReplayFlagValidation(t *testing.T) {
 		{"-cal", cal, "-capture", cap, "-workers", "-1"},
 		{"-cal", cal, "-capture", cap, "-pair-window", "0"},
 		{"-cal", cal, "-capture", cap, "-pair-timeout", "-1s"},
+		{"-cal", cal, "-capture", cap, "-from", "-1s"},
+		{"-cal", cal, "-capture", cap, "-to", "-1ms"},
+		{"-cal", cal, "-capture", cap, "-from", "2s", "-to", "1s"}, // window ends before it starts
+		{"-cal", cal, "-capture", cap, "-dedup", "-1"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

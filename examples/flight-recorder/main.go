@@ -1,0 +1,259 @@
+// Flight-recorder: the durable capture store as the fleet's
+// incident-response workflow.
+//
+// A recorder runs beside the plant: two redundant collectors tap the same
+// wire (every frame arrives twice) and everything is written into a
+// rotating, index-sealed segment chain — bounded segments, cadence
+// flushes, a sidecar index per sealed segment. Mid-run an attacker forges
+// XMV(3) on unit 1; shortly after, the recorder host loses power, tearing
+// the last record of the unsealed final segment.
+//
+// Then the incident response: reopen the chain, seek straight to the
+// minutes around the incident (the index skips the sealed segments before
+// the window without decoding a record), suppress the second collector's
+// redundant copies with a dedup window, tolerate the torn tail as a typed
+// warning — and replay the surviving frames through the same pairing →
+// fleet path the live monitor runs, to a localized cross-view verdict.
+//
+//	go run ./examples/flight-recorder
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/core"
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+	"pcsmon/internal/te"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "flight-recorder")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flight-recorder:", err)
+		os.Exit(1)
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+	if err := run(os.Stdout, dir, 260, 130); err != nil {
+		fmt.Fprintln(os.Stderr, "flight-recorder:", err)
+		os.Exit(1)
+	}
+}
+
+// run records `samples` observations (the attack arms at `armAt`), kills
+// the recorder uncleanly, then replays the incident window from the chain.
+func run(w io.Writer, dir string, samples, armAt int) error {
+	const (
+		xmv3 = te.NumXMEAS + te.XmvAFeed // the forged observation column
+		step = 100 * time.Millisecond    // capture-time spacing of observations
+	)
+
+	// Calibrate the monitor on synthetic NOC rows (the same quick plant as
+	// the other demos: correlated noise around an operating point).
+	m := historian.NumVars
+	loadings := make([]float64, m)
+	lr := rand.New(rand.NewSource(99))
+	for j := range loadings {
+		loadings[j] = lr.NormFloat64()
+	}
+	rng := rand.New(rand.NewSource(7))
+	noc := func() []float64 {
+		z := rng.NormFloat64()
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			row[j] = 50 + z*loadings[j] + 0.3*rng.NormFloat64()
+		}
+		return row
+	}
+	cal, err := dataset.New(historian.VarNames())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 600; i++ {
+		if err := cal.Append(noc()); err != nil {
+			return err
+		}
+	}
+	sys, err := core.Calibrate(cal, core.Config{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "monitor calibrated on %d NOC observations\n", cal.Rows())
+
+	// ---- Part 1: the flight recorder runs beside the plant. ----
+	//
+	// 128 KiB segments rotate the chain every few hundred records; the
+	// explicit Flush below stands in for the live recorder's -record-flush
+	// cadence (we manage the cadence ourselves, so the store's own timer
+	// is off).
+	base := filepath.Join(dir, "plant")
+	st, err := fieldbus.OpenCaptureStore(base, fieldbus.StoreOptions{
+		SegmentBytes: 128 << 10,
+		FlushEvery:   -1,
+	})
+	if err != nil {
+		return err
+	}
+	tap := func(f *fieldbus.Frame, at time.Duration) error {
+		// Collector A and collector B see the same wire: two identical
+		// copies of every frame land in the store.
+		if err := st.WriteAt(f, at); err != nil {
+			return err
+		}
+		return st.WriteAt(f, at)
+	}
+	fmt.Fprintf(w, "recording 2 units × 2 views × 2 collectors to %s…\n", base)
+	for i := 0; i < samples; i++ {
+		at := time.Duration(i) * step
+		for unit := uint8(0); unit < 2; unit++ {
+			truth := noc()
+			ctrlView := append([]float64(nil), truth...)
+			procView := append([]float64(nil), truth...)
+			if unit == 1 && i >= armAt {
+				if i == armAt {
+					fmt.Fprintf(w, ">>> attack armed at obs %d (capture time %v): XMV(3) forged on unit 1\n", armAt, at)
+				}
+				ramp := 0.1 * float64(i-armAt)
+				if ramp > 15 {
+					ramp = 15
+				}
+				ctrlView[xmv3] = truth[xmv3] + ramp
+				procView[xmv3] = 0
+			}
+			seq := uint64(i + 1)
+			if err := tap(&fieldbus.Frame{Type: fieldbus.FrameSensor, Unit: unit, Seq: seq, Values: ctrlView}, at); err != nil {
+				return err
+			}
+			if err := tap(&fieldbus.Frame{Type: fieldbus.FrameActuator, Unit: unit, Seq: seq, Values: procView}, at); err != nil {
+				return err
+			}
+		}
+		if i%32 == 31 { // the crash-durability flush cadence
+			if err := st.Flush(); err != nil {
+				return err
+			}
+		}
+	}
+	stats := st.Stats()
+	fmt.Fprintf(w, "recorder: %d frames (%v of plant time) in %d segments, %d rotations, %d cadence flushes\n",
+		stats.Frames, stats.Span, stats.Segments+1, stats.Rotations, stats.Flushes)
+
+	// ---- Power loss. ----
+	//
+	// The recorder process dies without Close: the final segment is never
+	// sealed (no index sidecar), and the torn write leaves its last record
+	// incomplete. Everything up to the previous cadence flush survives.
+	if err := st.Flush(); err != nil {
+		return err
+	}
+	segs, err := filepath.Glob(base + ".*.pcscap")
+	if err != nil || len(segs) < 2 {
+		return fmt.Errorf("chain did not rotate: %v (%d segments)", err, len(segs))
+	}
+	sort.Strings(segs)
+	last := segs[len(segs)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		return err
+	}
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, ">>> power loss: recorder killed mid-record — %s unsealed, tail torn\n", filepath.Base(last))
+
+	// ---- Part 2: incident response from the chain. ----
+	//
+	// Replay only the window around the incident. Sealed segments wholly
+	// before the window are skipped via their index sidecars; the dedup
+	// window collapses the two collectors' copies back into one stream.
+	from := time.Duration(armAt-60) * step
+	cr, err := fieldbus.OpenCaptureChain(base, fieldbus.ChainOptions{From: from})
+	if err != nil {
+		return err
+	}
+	defer func() { _ = cr.Close() }()
+	fl, err := pcsmon.NewFleet(sys, pcsmon.FleetOptions{Workers: 1, EmitEvery: -1, Sample: 9 * time.Second})
+	if err != nil {
+		return err
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for ev := range fl.Events() {
+			if e, ok := ev.Event.(pcsmon.AlarmRaised); ok {
+				fmt.Fprintf(w, "ALARM [%s/%s] at obs %d (charts %v)\n", ev.Plant, e.View, e.Index, e.Charts)
+			}
+		}
+	}()
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{
+		Window: 16,
+		Dedup:  8, // two taps: the adjacent redundant copy is suppressed
+		Onset:  60,
+		OnAttach: func(plant string) {
+			fmt.Fprintf(w, "plant %s attached\n", plant)
+		},
+	}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replaying window [%v, end] of %d segments…\n", from, cr.Segments())
+	for {
+		_, f, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if _, err := pi.OfferFrame(f); err != nil {
+			return err
+		}
+	}
+	if terr := cr.Truncated(); terr != nil {
+		fmt.Fprintf(w, "warning: %v — replaying the %d readable frames\n", terr, cr.Delivered())
+	}
+	if err := pi.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "window seek: %d of %d segments skipped via index (%d records decoded, %d delivered)\n",
+		cr.SegmentsSkipped(), cr.Segments(), cr.RecordsRead(), cr.Delivered())
+	fmt.Fprintf(w, "dedup: %d redundant frames suppressed — two collectors, one correlator\n", pi.Deduped())
+	pst := pi.Stats()
+	fmt.Fprintf(w, "pairing: %d frames -> %d paired, %d dup, loss rate %.1f%%\n",
+		pst.Frames, pst.Paired, pst.Duplicates, 100*pst.LossRate())
+
+	ids := pi.Plants()
+	sort.Strings(ids)
+	reports := map[string]*pcsmon.Report{}
+	for _, id := range ids {
+		rep, err := fl.Detach(id)
+		if err != nil {
+			return err
+		}
+		reports[id] = rep
+	}
+	if err := fl.Close(); err != nil {
+		return err
+	}
+	<-drained
+
+	for _, id := range ids {
+		rep := reports[id]
+		fmt.Fprintf(w, "\nplant %s VERDICT: %s", id, rep.Verdict)
+		if rep.AttackedVar >= 0 {
+			fmt.Fprintf(w, " — localized channel: %s", historian.VarName(rep.AttackedVar))
+		}
+		fmt.Fprintf(w, "\n  %s\n", rep.Explanation)
+	}
+	fmt.Fprintln(w, "\nthe recorder died mid-write, half the chain was never read, every frame")
+	fmt.Fprintln(w, "arrived twice — and the replayed window still localizes the forgery.")
+	return nil
+}

@@ -109,6 +109,44 @@ func BenchmarkCaptureReplay(b *testing.B) {
 	b.ReportMetric(float64(frames)/b.Elapsed().Seconds(), "frames/sec")
 }
 
+// BenchmarkCaptureStoreWrite measures the durable-store record path —
+// rotation bookkeeping, index accumulation and the buffered write — and
+// asserts the steady-state hot path allocates nothing per frame: a flight
+// recorder must not generate garbage at line rate. Rotation and sealing are
+// excluded by a large segment budget; they amortize over whole segments.
+func BenchmarkCaptureStoreWrite(b *testing.B) {
+	st, err := OpenCaptureStore(b.TempDir()+"/bench", StoreOptions{
+		SegmentBytes: 1 << 40, FlushEvery: -1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = st.Close() }()
+	f := &Frame{Type: FrameSensor, Unit: 1, Values: make([]float64, 53)}
+	rec := int64(captureRecHeader + EncodedSize(len(f.Values)))
+	b.SetBytes(rec)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Seq = uint64(i)
+		if err := st.WriteAt(f, time.Duration(i)*time.Microsecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if st.Frames() != uint64(b.N) {
+		b.Fatalf("recorded %d frames, want %d", st.Frames(), b.N)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		f.Seq++
+		if err := st.Record(f); err != nil {
+			b.Fatal(err)
+		}
+	}); allocs != 0 {
+		b.Fatalf("steady-state store write allocates %.1f/op, want 0", allocs)
+	}
+}
+
 // BenchmarkTCPReceivePath measures ReadFrameInto on an in-memory frame
 // stream — the post-fix zero-allocation receive hot path shared by
 // Server.serveConn and MitMProxy.proxyConn.

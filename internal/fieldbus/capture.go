@@ -30,9 +30,28 @@ import (
 // corrupted, or not captures at all.
 var ErrBadCapture = errors.New("fieldbus: malformed capture")
 
+// ErrTruncatedTail marks a capture that ends mid-record — the signature of
+// a recorder killed mid-run (SIGKILL, power loss) rather than structural
+// corruption. It wraps ErrBadCapture, so existing errors.Is(ErrBadCapture)
+// checks keep matching, while replay paths can single it out and score the
+// readable prefix with a warning instead of refusing the file.
+var ErrTruncatedTail = fmt.Errorf("capture truncated mid-record: %w", ErrBadCapture)
+
 var captureMagic = [8]byte{'P', 'C', 'S', 'C', 'A', 'P', '1', '\n'}
 
 const captureRecHeader = 8 + 4 // timestamp + frame length
+
+// recordFrameLen bounds an encoded frame length before it is committed to
+// a capture record header — the writer-side mirror of the reader's
+// EncodedSize(MaxValues) check, plus the uint32 length-field overflow edge
+// (the record header carries the length as a uint32; a longer encoding
+// would silently wrap and desynchronize every later record).
+func recordFrameLen(n int) error {
+	if n <= 0 || n > EncodedSize(MaxValues) || uint64(n) > uint64(^uint32(0)) {
+		return fmt.Errorf("fieldbus: capture frame length %d: %w", n, ErrBadCapture)
+	}
+	return nil
+}
 
 // CaptureWriter appends timestamped frames to a capture stream. Not safe
 // for concurrent use; live recorders serialize (one recorder per tap
@@ -68,6 +87,12 @@ func (cw *CaptureWriter) WriteAt(f *Frame, at time.Duration) error {
 	cw.last = at
 	data, err := f.MarshalTo(cw.scratch)
 	if err != nil {
+		return err
+	}
+	if err := recordFrameLen(len(data)); err != nil {
+		// Mirrors the reader's bound: a frame the codec would encode but
+		// the capture reader would reject must fail here, at write time,
+		// not poison the file for its own reader mid-replay.
 		return err
 	}
 	cw.scratch = data
@@ -137,14 +162,16 @@ func NewCaptureReader(r io.Reader) (*CaptureReader, error) {
 
 // Next returns the next record's timestamp and frame. The frame is scratch
 // (see the type comment). At a clean end of capture it returns io.EOF; a
-// stream ending mid-record, an implausible length, a decreasing timestamp
-// or a frame that fails to decode is a typed error.
+// stream ending mid-record is ErrTruncatedTail (an uncleanly stopped
+// recorder — still ErrBadCapture, but distinguishable so replay can score
+// the readable prefix); an implausible length, a decreasing timestamp or a
+// frame that fails to decode is a typed error.
 func (cr *CaptureReader) Next() (time.Duration, *Frame, error) {
 	if _, err := io.ReadFull(cr.r, cr.hdr[:]); err != nil {
 		if err == io.EOF {
 			return 0, nil, io.EOF // clean boundary between records
 		}
-		return 0, nil, fmt.Errorf("fieldbus: capture truncated mid-record: %w", ErrBadCapture)
+		return 0, nil, fmt.Errorf("fieldbus: record header: %v: %w", err, ErrTruncatedTail)
 	}
 	at := binary.BigEndian.Uint64(cr.hdr[0:])
 	n := binary.BigEndian.Uint32(cr.hdr[8:])
@@ -164,7 +191,7 @@ func (cr *CaptureReader) Next() (time.Duration, *Frame, error) {
 	}
 	cr.data = cr.data[:n]
 	if _, err := io.ReadFull(cr.r, cr.data); err != nil {
-		return 0, nil, fmt.Errorf("fieldbus: capture truncated mid-frame: %w", ErrBadCapture)
+		return 0, nil, fmt.Errorf("fieldbus: record frame body: %v: %w", err, ErrTruncatedTail)
 	}
 	if err := cr.frame.UnmarshalInto(cr.data); err != nil {
 		return 0, nil, err // the codec's typed corruption errors

@@ -1,0 +1,96 @@
+package fieldbus
+
+import (
+	"fmt"
+	"math"
+)
+
+// FrameDedup suppresses content-identical frames arriving more than once —
+// the redundant-collector case: two taps on the same view of the same wire
+// both forward every frame, and without dedup the second copy of each is
+// counted as a Duplicate by the pairing layer, polluting the loss/dup
+// statistics of a perfectly healthy feed.
+//
+// Deduplication is by content hash (FNV-1a 64 over type, unit, sequence
+// number and the raw IEEE-754 value bits) over a sliding window of the
+// last N ingested frames, so two taps may race arbitrarily within the
+// window while a *genuine* retransmission — same (unit, seq, type) but
+// different values, e.g. a MitM rewriting one copy — still reaches the
+// correlator, where the cross-view analysis can see it. A 64-bit hash over
+// a bounded window makes accidental collisions vanishingly rare
+// (~N·2^-64); a colliding frame would be dropped as redundant.
+//
+// Not safe for concurrent use — callers serialize (the pairing ingest
+// holds its own lock).
+type FrameDedup struct {
+	ring    []uint64       // insertion order of the last len(ring) hashes
+	seen    map[uint64]int // hash -> occurrences currently in the ring
+	n       int            // frames ingested (ring cursor = n % len(ring))
+	dropped uint64
+}
+
+// NewFrameDedup builds a deduper remembering the last window frames.
+func NewFrameDedup(window int) (*FrameDedup, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("fieldbus: dedup window %d: %w", window, ErrBadFrame)
+	}
+	return &FrameDedup{
+		ring: make([]uint64, window),
+		seen: make(map[uint64]int, window),
+	}, nil
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 { return (h ^ uint64(b)) * fnvPrime64 }
+
+func fnv64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = fnvByte(h, byte(v>>(8*i)))
+	}
+	return h
+}
+
+// hashFrame folds the frame's identity and content into one 64-bit hash.
+func hashFrame(f *Frame) uint64 {
+	h := uint64(fnvOffset64)
+	h = fnvByte(h, byte(f.Type))
+	h = fnvByte(h, f.Unit)
+	h = fnv64(h, f.Seq)
+	for _, v := range f.Values {
+		h = fnv64(h, math.Float64bits(v))
+	}
+	return h
+}
+
+// Redundant reports whether f's content hash was seen within the window,
+// counting and recording it either way. A redundant frame does not refresh
+// its hash's position in the window — a tap replaying one frame forever
+// ages out like any other traffic.
+func (d *FrameDedup) Redundant(f *Frame) bool {
+	h := hashFrame(f)
+	dup := d.seen[h] > 0
+	if dup {
+		d.dropped++
+	}
+	// Slide the window: the oldest hash leaves, h enters.
+	cur := d.n % len(d.ring)
+	if d.n >= len(d.ring) {
+		old := d.ring[cur]
+		if c := d.seen[old]; c <= 1 {
+			delete(d.seen, old)
+		} else {
+			d.seen[old] = c - 1
+		}
+	}
+	d.ring[cur] = h
+	d.seen[h]++
+	d.n++
+	return dup
+}
+
+// Dropped returns the number of frames reported redundant so far.
+func (d *FrameDedup) Dropped() uint64 { return d.dropped }

@@ -246,6 +246,72 @@ func FuzzCaptureReader(f *testing.F) {
 	})
 }
 
+// FuzzSegmentIndex throws arbitrary bytes at the index sidecar decoder:
+// malformed sidecars must yield ErrBadIndex, never a panic, and any sidecar
+// that decodes must re-encode byte-identically (the codec is canonical) —
+// which is what lets sidecar existence double as a segment's seal marker.
+func FuzzSegmentIndex(f *testing.F) {
+	marshal := func(ix *SegmentIndex) []byte {
+		data, err := MarshalIndex(ix)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	f.Add(marshal(&SegmentIndex{}))
+	f.Add(marshal(&SegmentIndex{
+		Frames: 3,
+		First:  time.Millisecond, Last: 5 * time.Millisecond,
+		Units: []UnitRange{{Unit: 2, MinSeq: 1, MaxSeq: 3, First: time.Millisecond, Last: 5 * time.Millisecond, Frames: 3}},
+	}))
+	full := &SegmentIndex{Frames: 2, Last: time.Second}
+	full.Units = []UnitRange{
+		{Unit: 0, MinSeq: 0, MaxSeq: 0, First: 0, Last: 0, Frames: 1},
+		{Unit: 255, MinSeq: ^uint64(0), MaxSeq: ^uint64(0), First: time.Second, Last: time.Second, Frames: 1},
+	}
+	valid := marshal(full)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // truncated
+	crc := append([]byte(nil), valid...)
+	crc[len(crc)-1] ^= 0x01 // CRC damage
+	f.Add(crc)
+	bad := append([]byte(nil), valid...)
+	bad[0] ^= 0xFF // bad magic
+	f.Add(bad)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := UnmarshalIndex(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadIndex) {
+				t.Fatalf("untyped index error: %v", err)
+			}
+			return
+		}
+		// Decoded invariants the store relies on.
+		var sum uint64
+		for i, u := range ix.Units {
+			if i > 0 && u.Unit <= ix.Units[i-1].Unit {
+				t.Fatal("decoded units not strictly sorted")
+			}
+			if u.First < ix.First || u.Last > ix.Last || u.MaxSeq < u.MinSeq {
+				t.Fatalf("decoded unit %d outside segment ranges", u.Unit)
+			}
+			sum += u.Frames
+		}
+		if sum != ix.Frames {
+			t.Fatalf("decoded unit frames sum %d, segment says %d", sum, ix.Frames)
+		}
+		out, err := MarshalIndex(ix)
+		if err != nil {
+			t.Fatalf("re-marshal of decoded index failed: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("index codec not canonical:\nin:  %x\nout: %x", data, out)
+		}
+	})
+}
+
 // TestReadFrameRejectsOversizedPrefix pins the bound the fuzzer relies on:
 // a length prefix beyond the biggest legal frame must fail fast with
 // ErrBadFrame, not attempt a huge allocation.

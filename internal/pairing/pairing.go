@@ -231,24 +231,35 @@ type Stats struct {
 	Stalls uint64
 	// Units counts units seen.
 	Units int
+	// ExpectedFrames counts the wire frames finalized observations *should*
+	// have carried, judged per unit by which views have ever been delivered:
+	// a unit whose actuator view has never been seen is a plain single-view
+	// feed, so its observations expect one frame, not two. MissingFrames
+	// counts the expected frames that never arrived — a held orphan's mate,
+	// a gap's skipped frames. Maintained at emission time (pending slots
+	// excluded; their mates may still show up).
+	ExpectedFrames uint64
+	MissingFrames  uint64
 }
 
-// LossRate reports the fraction of wire frames missing from finalized
-// observations: the emitted sequence space implies two frames per
-// observation (and two per gapped sequence number), of which orphans'
-// mates and gaps never arrived. Pending slots are excluded — their mates
-// may still show up. Returns 0 before anything has been emitted.
+// LossRate reports the fraction of expected wire frames missing from
+// finalized observations. Crucially, "expected" is per-unit view-aware: a
+// healthy sensor-only feed — a unit whose second view has never existed —
+// expects one frame per observation and therefore scores 0 loss, not the
+// 50% the naive two-frames-per-seq arithmetic would report. Loss only
+// accrues for frames there was concrete evidence to expect: the mate of a
+// hold-last orphan (that view HAS delivered before), or a sequence gap
+// (counted per view the unit has shown). Returns 0 before anything has
+// been emitted.
 //
 // This is the per-transport loss figure a lossy feed (UDP, a flaky
 // collector link) is judged by: duplicates and stale frames are redundant
 // traffic, not loss, so they do not enter the ratio.
 func (s Stats) LossRate() float64 {
-	expected := 2 * (s.Paired + s.OrphanSensors + s.OrphanActuators + s.GapSeqs)
-	if expected == 0 {
+	if s.ExpectedFrames == 0 {
 		return 0
 	}
-	received := 2*s.Paired + s.OrphanSensors + s.OrphanActuators
-	return float64(expected-received) / float64(expected)
+	return float64(s.MissingFrames) / float64(s.ExpectedFrames)
 }
 
 // slot is one pending sequence number: up to one frame per view. A nil row
@@ -279,6 +290,24 @@ type unitState struct {
 	// sequence numbers and how many consecutive frames landed in it.
 	jumpLow, jumpHigh uint64
 	jumpRun           int
+}
+
+// viewsKnown returns how many wire frames one sequence number of this unit
+// is expected to carry: one per view that has ever been delivered. Before
+// any delivery (a gap emitted ahead of the unit's first emission) it
+// assumes the full two-view feed.
+func (u *unitState) viewsKnown() uint64 {
+	n := uint64(0)
+	if u.seenSens {
+		n++
+	}
+	if u.seenAct {
+		n++
+	}
+	if n == 0 {
+		return 2
+	}
+	return n
 }
 
 // Correlator joins sensor and actuator frames into paired two-view
@@ -546,6 +575,8 @@ func (c *Correlator) flushHead(u *unitState, unit uint8) error {
 	u.emitted = true
 	c.stats.GapEvents++
 	c.stats.GapSeqs += uint64(span)
+	c.stats.ExpectedFrames += uint64(span) * u.viewsKnown()
+	c.stats.MissingFrames += uint64(span) * u.viewsKnown()
 	return c.sink(Event{Unit: unit, Seq: u.next - uint64(span), Outcome: GapDetected, Span: uint64(span)})
 }
 
@@ -595,6 +626,8 @@ func (c *Correlator) quarantine(u *unitState, unit uint8, typ fieldbus.FrameType
 		span := u.jumpLow - from
 		c.stats.GapEvents++
 		c.stats.GapSeqs += span
+		c.stats.ExpectedFrames += span * u.viewsKnown()
+		c.stats.MissingFrames += span * u.viewsKnown()
 		return true, c.sink(Event{Unit: unit, Seq: from, Outcome: GapDetected, Span: span})
 	}
 	return true, c.sink(Event{Unit: unit, Seq: u.jumpLow, Outcome: EpochReset})
@@ -669,6 +702,8 @@ func (c *Correlator) advanceTo(u *unitState, unit uint8, target uint64) error {
 		u.emitted = true
 		c.stats.GapEvents++
 		c.stats.GapSeqs += span
+		c.stats.ExpectedFrames += span * u.viewsKnown()
+		c.stats.MissingFrames += span * u.viewsKnown()
 		if err := c.sink(Event{Unit: unit, Seq: u.next - span, Outcome: GapDetected, Span: span}); err != nil {
 			return err
 		}
@@ -688,16 +723,23 @@ func (c *Correlator) emitHead(u *unitState, unit uint8, s *slot) error {
 		ev.Outcome = Paired
 		frames = 2
 		c.stats.Paired++
+		c.stats.ExpectedFrames += 2
 	case s.sens != nil:
 		ev.Outcome = OrphanSensor
 		ev.View = fieldbus.FrameActuator
 		frames = 1
 		c.stats.OrphanSensors++
 		if u.seenAct {
+			// The actuator view HAS delivered before: its frame was
+			// expected and is genuinely missing.
 			ev.Proc = u.lastAct
 			ev.Held = true
+			c.stats.ExpectedFrames += 2
+			c.stats.MissingFrames++
 		} else {
-			ev.Proc = s.sens // mirror: plain single-view feed
+			// Mirror: plain single-view feed — one frame expected, none lost.
+			ev.Proc = s.sens
+			c.stats.ExpectedFrames++
 		}
 	default:
 		ev.Outcome = OrphanActuator
@@ -707,8 +749,11 @@ func (c *Correlator) emitHead(u *unitState, unit uint8, s *slot) error {
 		if u.seenSens {
 			ev.Ctrl = u.lastSens
 			ev.Held = true
+			c.stats.ExpectedFrames += 2
+			c.stats.MissingFrames++
 		} else {
 			ev.Ctrl = s.act // mirror: plain single-view feed
+			c.stats.ExpectedFrames++
 		}
 	}
 	sens, act := s.sens, s.act

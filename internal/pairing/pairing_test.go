@@ -735,3 +735,69 @@ func TestLossRate(t *testing.T) {
 		t.Errorf("LossRate = %g, want %g", got, want)
 	}
 }
+
+// TestLossRateSingleView is the regression for the healthy-single-view
+// bug: a sensor-only feed — a deployment with no actuator tap at all —
+// used to score 50% loss, because every mirrored orphan was charged a
+// phantom mate. Single-view operation is not loss; LossRate must be 0.
+func TestLossRateSingleView(t *testing.T) {
+	c, _ := newTestCorrelator(t, Config{Window: 4})
+	for seq := uint64(0); seq < 20; seq++ {
+		offer(t, c, fieldbus.FrameSensor, 1, seq, 1)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.OrphanSensors != 20 {
+		t.Fatalf("unexpected accounting: %+v", st)
+	}
+	if got := st.LossRate(); got != 0 {
+		t.Errorf("healthy sensor-only feed LossRate = %g, want 0", got)
+	}
+	if st.ExpectedFrames != 20 || st.MissingFrames != 0 {
+		t.Errorf("expected/missing = %d/%d, want 20/0", st.ExpectedFrames, st.MissingFrames)
+	}
+
+	// A gap in a single-view feed IS loss — one frame per missing seq, not
+	// two: seqs 20-21 vanish, 22 arrives.
+	offer(t, c, fieldbus.FrameSensor, 1, 22, 1)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st = c.Stats()
+	if st.GapSeqs != 2 {
+		t.Fatalf("unexpected accounting: %+v", st)
+	}
+	want := 2.0 / 23.0 // 21 sensor frames expected + 2 gapped, 2 missing
+	if got := st.LossRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("single-view LossRate with gap = %g, want %g", got, want)
+	}
+}
+
+// TestLossRateViewAppears covers the transition: once the second view
+// delivers even once, its absence from later observations is genuine loss.
+func TestLossRateViewAppears(t *testing.T) {
+	c, _ := newTestCorrelator(t, Config{Window: 4})
+	// Two mirrored sensor-only observations, then the actuator tap comes
+	// online for seq 2, then disappears again for 3-4.
+	offer(t, c, fieldbus.FrameSensor, 1, 0, 1)
+	offer(t, c, fieldbus.FrameSensor, 1, 1, 1)
+	offer(t, c, fieldbus.FrameSensor, 1, 2, 1)
+	offer(t, c, fieldbus.FrameActuator, 1, 2, 2)
+	offer(t, c, fieldbus.FrameSensor, 1, 3, 1)
+	offer(t, c, fieldbus.FrameSensor, 1, 4, 1)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	// Seqs 0-1: 1 expected each, 0 missing. Seq 2: 2 expected, 0 missing.
+	// Seqs 3-4 (held): 2 expected each, 1 missing each.
+	if st.ExpectedFrames != 8 || st.MissingFrames != 2 {
+		t.Fatalf("expected/missing = %d/%d, want 8/2 (%+v)", st.ExpectedFrames, st.MissingFrames, st)
+	}
+	want := 2.0 / 8.0
+	if got := st.LossRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("LossRate = %g, want %g", got, want)
+	}
+}

@@ -274,3 +274,73 @@ func TestCaptureReplayMatchesBatch(t *testing.T) {
 		})
 	}
 }
+
+// TestRotatedChainReplayMatchesBatch is the durable-store parity
+// acceptance: the same two-view stream recorded through a CaptureStore —
+// rotated into many sealed segments on disk — must replay through the
+// chain reader to a verdict bit-identical to the batch analysis AND to the
+// single-file capture path. Rotation must be invisible to the diagnosis.
+func TestRotatedChainReplayMatchesBatch(t *testing.T) {
+	exp, res := fixture(t)
+	for _, sc := range PaperScenarios(testOnsetHour) {
+		t.Run(sc.Key, func(t *testing.T) {
+			batch := res[sc.Key].Runs[0]
+			ctrl, proc := captureRun(t, exp, sc, batch.Seed)
+
+			// Record through the store, sized to force frequent rotation
+			// (tens of segments over a full scenario).
+			base := t.TempDir() + "/chain"
+			st, err := fieldbus.OpenCaptureStore(base, fieldbus.StoreOptions{
+				SegmentBytes: 64 << 10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ctrl {
+				at := time.Duration(i) * exp.SampleInterval()
+				if err := st.WriteAt(&fieldbus.Frame{
+					Type: fieldbus.FrameSensor, Unit: 0, Seq: uint64(i), Values: ctrl[i],
+				}, at); err != nil {
+					t.Fatal(err)
+				}
+				if err := st.WriteAt(&fieldbus.Frame{
+					Type: fieldbus.FrameActuator, Unit: 0, Seq: uint64(i), Values: proc[i],
+				}, at); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if st.Segments() < 2 {
+				t.Fatalf("only %d segments — rotation never fired, parity not exercised", st.Segments())
+			}
+
+			cor, finish := newReplayPool(t, exp, len(ctrl[0]), 64)
+			cr, err := fieldbus.OpenCaptureChain(base, fieldbus.ChainOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for {
+				_, f, err := cr.Next()
+				if err != nil {
+					break // io.EOF; anything else fails the frame count below
+				}
+				if err := cor.OfferFrame(f); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := cr.Truncated(); err != nil {
+				t.Fatalf("sealed chain reported truncation: %v", err)
+			}
+			if got, want := cr.RecordsRead(), uint64(2*len(ctrl)); got != want {
+				t.Fatalf("chain replayed %d frames, want %d", got, want)
+			}
+			rep := finish()
+			if !reflect.DeepEqual(rep, batch.Report) {
+				t.Errorf("rotated chain replay differs from batch report:\nreplay: %+v\nbatch:  %+v",
+					rep, batch.Report)
+			}
+		})
+	}
+}

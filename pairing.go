@@ -77,6 +77,16 @@ type PairingOptions struct {
 	// timeline through it, so Timeout keeps meaning capture time at any
 	// speed-up.
 	Clock func() time.Time
+	// Dedup, when positive, suppresses content-identical frames arriving
+	// more than once within a sliding window of that many frames — the
+	// redundant-collector deployment, where two taps on the same wire both
+	// forward every frame and the naive ingest would score each second copy
+	// as a Duplicate. Suppression is by content hash (type, unit, seq, raw
+	// value bits), so a copy whose values were tampered with still reaches
+	// the correlator. Applies to the frame-level entry points (OfferFrame,
+	// OfferBytes); the row-level OfferSensor/OfferActuator bypass it
+	// (0 = off).
+	Dedup int
 }
 
 // PairingIngest is the live two-view front of a Fleet: it correlates
@@ -97,6 +107,9 @@ type PairingIngest struct {
 	scratchMu sync.Mutex // guards the OfferBytes decode scratch
 	frame     fieldbus.Frame
 
+	dedupMu sync.Mutex // guards dedup (Offer methods are concurrent)
+	dedup   *fieldbus.FrameDedup
+
 	stateMu  sync.Mutex // guards attached/plants against Plants() readers
 	attached [256]bool
 	plants   []string
@@ -110,11 +123,18 @@ func PlantID(unit uint8) string { return fmt.Sprintf("unit-%03d", unit) }
 // (observation scoring flows through the fleet's own event channel as
 // usual).
 func (f *Fleet) NewPairingIngest(opts PairingOptions, emit func(FleetEvent)) (*PairingIngest, error) {
-	if opts.Window < 0 || opts.Timeout < 0 || opts.Onset < 0 {
-		return nil, fmt.Errorf("pcsmon: pairing window %d, timeout %v, onset %d: %w",
-			opts.Window, opts.Timeout, opts.Onset, ErrBadConfig)
+	if opts.Window < 0 || opts.Timeout < 0 || opts.Onset < 0 || opts.Dedup < 0 {
+		return nil, fmt.Errorf("pcsmon: pairing window %d, timeout %v, onset %d, dedup %d: %w",
+			opts.Window, opts.Timeout, opts.Onset, opts.Dedup, ErrBadConfig)
 	}
 	pi := &PairingIngest{fl: f, opts: opts, emit: emit}
+	if opts.Dedup > 0 {
+		d, err := fieldbus.NewFrameDedup(opts.Dedup)
+		if err != nil {
+			return nil, fmt.Errorf("pcsmon: %w", err)
+		}
+		pi.dedup = d
+	}
 	cor, err := pairing.NewCorrelator(pairing.Config{
 		Cols:       historian.NumVars,
 		Window:     opts.Window,
@@ -209,9 +229,35 @@ func (pi *PairingIngest) OfferFrame(f *fieldbus.Frame) (bool, error) {
 	}
 	switch f.Type {
 	case fieldbus.FrameSensor, fieldbus.FrameActuator:
+		if pi.redundant(f) {
+			return false, nil
+		}
 		return true, pi.wrap(pi.cor.Offer(f.Type, f.Unit, f.Seq, f.Values))
 	}
 	return false, nil
+}
+
+// redundant applies the configured dedup window; a suppressed frame is
+// counted (Deduped) but never reaches the correlator, so a redundant
+// collector's second copy cannot inflate Duplicate counts — or refresh
+// idle/progress probes keyed on ingested frames.
+func (pi *PairingIngest) redundant(f *fieldbus.Frame) bool {
+	if pi.dedup == nil {
+		return false
+	}
+	pi.dedupMu.Lock()
+	defer pi.dedupMu.Unlock()
+	return pi.dedup.Redundant(f)
+}
+
+// Deduped returns the number of frames suppressed by the Dedup window.
+func (pi *PairingIngest) Deduped() uint64 {
+	if pi.dedup == nil {
+		return 0
+	}
+	pi.dedupMu.Lock()
+	defer pi.dedupMu.Unlock()
+	return pi.dedup.Dropped()
 }
 
 // OfferBytes decodes one marshalled fieldbus frame (the wire format of
@@ -222,6 +268,9 @@ func (pi *PairingIngest) OfferBytes(data []byte) error {
 	defer pi.scratchMu.Unlock()
 	if err := pi.frame.UnmarshalInto(data); err != nil {
 		return fmt.Errorf("pcsmon: %w", err)
+	}
+	if pi.redundant(&pi.frame) {
+		return nil
 	}
 	return pi.wrap(pi.cor.OfferFrame(&pi.frame))
 }

@@ -364,6 +364,71 @@ func TestPairingIngestBytes(t *testing.T) {
 	}
 }
 
+// TestPairingIngestDedup: with Dedup set, the frame-level entry points
+// suppress content-identical frames — two redundant collectors tapping the
+// same wire feed one correlator without polluting duplicate accounting.
+func TestPairingIngestDedup(t *testing.T) {
+	sys := pairingTestSystem(t)
+	fl, finish := pairingFleet(t, sys)
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{Dedup: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 40
+	ctrl, proc := pairingRows(41, rows, 0, 0, 0)
+	var buf []byte
+	for i := 0; i < rows; i++ {
+		for _, f := range []fieldbus.Frame{
+			{Type: fieldbus.FrameSensor, Unit: 7, Seq: uint64(i), Values: ctrl[i]},
+			{Type: fieldbus.FrameActuator, Unit: 7, Seq: uint64(i), Values: proc[i]},
+		} {
+			// First tap delivers the frame...
+			offered, err := pi.OfferFrame(&f)
+			if err != nil || !offered {
+				t.Fatalf("first tap: offered=%v, err=%v", offered, err)
+			}
+			// ...the second tap's identical copy is suppressed, whichever
+			// frame-level entry point it arrives through.
+			if i%2 == 0 {
+				offered, err = pi.OfferFrame(&f)
+				if err != nil || offered {
+					t.Fatalf("redundant OfferFrame: offered=%v, err=%v", offered, err)
+				}
+			} else {
+				if buf, err = f.MarshalTo(buf[:0]); err != nil {
+					t.Fatal(err)
+				}
+				if err := pi.OfferBytes(buf); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := pi.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pi.Deduped(); got != 2*rows {
+		t.Errorf("Deduped() = %d, want %d", got, 2*rows)
+	}
+	// The pairing layer never saw the copies: clean pairing, no duplicates,
+	// no loss.
+	st := pi.Stats()
+	if st.Frames != 2*rows || st.Paired != rows || st.Duplicates != 0 {
+		t.Errorf("stats %+v — redundant frames leaked past dedup", st)
+	}
+	if st.LossRate() != 0 {
+		t.Errorf("loss rate %v on a clean deduped feed", st.LossRate())
+	}
+	rep, err := fl.Detach(pcsmon.PlantID(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	finish()
+	if rep.Verdict != pcsmon.VerdictNormal {
+		t.Errorf("verdict %v", rep.Verdict)
+	}
+}
+
 // TestPairingIngestValidation: bad options and closed ingests are
 // rejected.
 func TestPairingIngestValidation(t *testing.T) {
@@ -374,6 +439,7 @@ func TestPairingIngestValidation(t *testing.T) {
 		{Window: -1},
 		{Timeout: -time.Second},
 		{Onset: -1},
+		{Dedup: -1},
 	} {
 		if _, err := fl.NewPairingIngest(opts, nil); !errors.Is(err, pcsmon.ErrBadConfig) {
 			t.Errorf("%+v: want ErrBadConfig, got %v", opts, err)
