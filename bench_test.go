@@ -351,14 +351,41 @@ func BenchmarkFleetThroughput(b *testing.B) {
 	}
 	for _, cores := range []int{1, 2, 4, 8} {
 		for _, streams := range []int{1, 8, 64, 512} {
-			benchFleetMatrixCell(b, f, cores, streams, perStream, ctrlRows, procRows)
+			benchFleetMatrixCell(b, f, cores, streams, perStream, ctrlRows, procRows, false)
+		}
+	}
+}
+
+// BenchmarkFleetThroughputMetrics is the same matrix with the full
+// observability stack attached (metrics registry, scoring-latency
+// histogram, per-unit health) — compare against BenchmarkFleetThroughput
+// with benchstat to measure the instrumentation cost. The scoring path
+// stays zero-alloc with metrics on (see
+// TestSteadyStateZeroAllocPerObservation/metrics); the recorded wall-clock
+// overhead is a few percent, within the <5% budget the observability work
+// set.
+func BenchmarkFleetThroughputMetrics(b *testing.B) {
+	f := fixture(b)
+	perStream := 200
+	if f.nocCtrl.Rows() < perStream {
+		perStream = f.nocCtrl.Rows()
+	}
+	ctrlRows := make([][]float64, perStream)
+	procRows := make([][]float64, perStream)
+	for i := range ctrlRows {
+		ctrlRows[i] = f.nocCtrl.RowView(i)
+		procRows[i] = f.nocProc.RowView(i)
+	}
+	for _, cores := range []int{1, 2, 4, 8} {
+		for _, streams := range []int{1, 8, 64, 512} {
+			benchFleetMatrixCell(b, f, cores, streams, perStream, ctrlRows, procRows, true)
 		}
 	}
 }
 
 // benchFleetMatrixCell runs one (gomaxprocs, streams) cell of the fleet
-// throughput matrix.
-func benchFleetMatrixCell(b *testing.B, f *benchFixture, cores, streams, perStream int, ctrlRows, procRows [][]float64) {
+// throughput matrix, optionally with the observability stack attached.
+func benchFleetMatrixCell(b *testing.B, f *benchFixture, cores, streams, perStream int, ctrlRows, procRows [][]float64, withObs bool) {
 	b.Run(fmt.Sprintf("gomaxprocs=%d/streams=%d", cores, streams), func(b *testing.B) {
 		prev := runtime.GOMAXPROCS(cores)
 		defer runtime.GOMAXPROCS(prev)
@@ -373,10 +400,14 @@ func benchFleetMatrixCell(b *testing.B, f *benchFixture, cores, streams, perStre
 		b.ReportAllocs()
 		b.ResetTimer()
 		for n := 0; n < b.N; n++ {
-			fl, err := pcsmon.NewFleet(f.lab.System, pcsmon.FleetOptions{
+			opts := pcsmon.FleetOptions{
 				EmitEvery: -1,
 				Sample:    9 * time.Second,
-			})
+			}
+			if withObs {
+				opts.Obs = pcsmon.NewObservability()
+			}
+			fl, err := pcsmon.NewFleet(f.lab.System, opts)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -84,7 +84,9 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "live mode: flush observations whose mate frame is this late (0 = never)")
 		dedup       = fs.Int("dedup", 0, "live mode: suppress content-identical frames seen within the last N frames (redundant collectors; 0 = off)")
 		batch       = fs.Int("batch", 0, "observations aggregated per worker delivery (0 = default 16, 1 = per-observation)")
-		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address while the fleet runs")
+		metricsAddr = fs.String("metrics", "", "serve the ops endpoints (/metrics /healthz /status /debug/pprof/) on this address while the fleet runs")
+		statsEvery  = fs.Duration("stats-every", 0, "print a live progress line with the fleet/pairing counters on this cadence (0 = off)")
+		pprofAddr   = fs.String("pprof", "", "deprecated alias for -metrics (pprof is served from the ops endpoint)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -120,6 +122,8 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		return fmt.Errorf("mspctool fleet: -batch %d must be >= 0: %w", *batch, pcsmon.ErrBadConfig)
 	case *dedup < 0:
 		return fmt.Errorf("mspctool fleet: -dedup %d must be >= 0: %w", *dedup, pcsmon.ErrBadConfig)
+	case *statsEvery < 0:
+		return fmt.Errorf("mspctool fleet: -stats-every %v must be >= 0: %w", *statsEvery, pcsmon.ErrBadConfig)
 	case *recSegBytes < 0 || *recSegSpan < 0 || *recKeep < 0 || *recKeepB < 0 || *recKeepAge < 0:
 		return fmt.Errorf("mspctool fleet: -record-segment-bytes/-record-segment-span/-record-keep/-record-keep-bytes/-record-keep-age must be >= 0: %w", pcsmon.ErrBadConfig)
 	case *record == "" && (*recSegBytes != 0 || *recSegSpan != 0 || *recKeep != 0 || *recKeepB != 0 || *recKeepAge != 0):
@@ -131,12 +135,25 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *pprofAddr != "" {
-		pp, err := startPprof(*pprofAddr, out)
+	opsAddr, err := resolveOpsAddr("mspctool fleet", *metricsAddr, *pprofAddr, out)
+	if err != nil {
+		return err
+	}
+	// The ops listener binds before calibration so an unusable -metrics
+	// address fails up front like any other bad flag. The totals/health
+	// producers behind it fill in lazily as the fleet comes up.
+	var observability *pcsmon.Observability
+	var lastSeen atomic.Int64 // -idle horizon and /healthz stall probe
+	lastSeen.Store(time.Now().UnixNano())
+	totals := &fleetTotals{}
+	if opsAddr != "" {
+		observability = pcsmon.NewObservability()
+		ops, err := startOps("mspctool fleet", opsAddr, observability, totals.totals,
+			func() time.Time { return time.Unix(0, lastSeen.Load()) }, out)
 		if err != nil {
 			return err
 		}
-		defer func() { _ = pp.Close() }()
+		defer func() { _ = ops.Close() }()
 	}
 	sys, err := calibrateFrom(*calPath, *components, out)
 	if err != nil {
@@ -149,16 +166,27 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 		EmitEvery: *every,
 		Sample:    time.Duration(*sampleSec * float64(time.Second)),
 		Adaptive:  adaptive,
+		Obs:       observability,
 	})
 	if err != nil {
 		return err
 	}
+	totals.setFleet(fl)
+	stopStats := startStatsTicker(*statsEvery, totals, out)
+	defer stopStats()
 
 	printer := startFleetPrinter(fl, *every, out)
 
 	var ids []string
 	if live {
+		var reg *pcsmon.MetricsRegistry
+		if observability != nil {
+			reg = observability.Metrics
+		}
 		ids, err = serveFleetLive(fl, liveConfig{
+			lastSeen:    &lastSeen,
+			reg:         reg,
+			onIngest:    totals.setPairing,
 			tcpAddr:     *listen,
 			udpAddr:     *listenUDP,
 			record:      *record,
@@ -187,6 +215,7 @@ func runFleet(args []string, in io.Reader, out io.Writer) error {
 				seen[plant] = true
 				fmt.Fprintf(out, "plant %s attached\n", plant)
 			}
+			lastSeen.Store(time.Now().UnixNano())
 			return fl.Push(plant, row, row)
 		}
 		err = demuxFleetCSV(in, feed)
@@ -375,6 +404,17 @@ type liveConfig struct {
 	pairTimeout time.Duration
 	dedup       int
 	onset       int
+
+	// lastSeen, when non-nil, is the caller's shared activity timestamp
+	// (the ops server's /healthz stall probe reads it too); nil keeps the
+	// accounting local.
+	lastSeen *atomic.Int64
+	// reg, when non-nil, receives the transport-layer metric registrations
+	// (TCP/UDP listeners, capture recorder) once those objects exist.
+	reg *pcsmon.MetricsRegistry
+	// onIngest, when non-nil, observes the pairing ingest right after it is
+	// built (the /status totals hook).
+	onIngest func(*pcsmon.PairingIngest)
 }
 
 // storeMode reports whether any rotation/retention flag asked for the
@@ -483,10 +523,15 @@ func (r *storeRecorder) Target() string {
 // counted from startup, so a listener nobody connects to also terminates.
 func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, error) {
 	var (
-		mu       sync.Mutex // serializes output + the sticky ingest error
-		feedErr  error
-		lastSeen atomic.Int64 // UnixNano of the last frame (or startup)
+		mu      sync.Mutex // serializes output + the sticky ingest error
+		feedErr error
 	)
+	// lastSeen is the UnixNano of the last frame (or startup) — shared with
+	// the caller's /healthz probe when provided.
+	lastSeen := cfg.lastSeen
+	if lastSeen == nil {
+		lastSeen = &atomic.Int64{}
+	}
 	lastSeen.Store(time.Now().UnixNano())
 	done := make(chan struct{})
 	var closeOnce sync.Once
@@ -521,6 +566,9 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.onIngest != nil {
+		cfg.onIngest(pi)
 	}
 
 	// Optional capture recorder: one writer, shared by every listener's
@@ -622,6 +670,13 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 		mu.Unlock()
 	}
 
+	if cfg.reg != nil {
+		if err := registerTransportObs(cfg.reg, tcpSrv, udpSrv, &recMu, rec); err != nil {
+			abandonRec()
+			return nil, err
+		}
+	}
+
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
 	lastRecFlush := time.Now()
@@ -713,4 +768,98 @@ func serveFleetLive(fl *pcsmon.Fleet, cfg liveConfig, out io.Writer) ([]string, 
 	}
 	mu.Unlock()
 	return pi.Plants(), nil
+}
+
+// registerTransportObs exports the transport-layer counters on the ops
+// registry: TCP/UDP listener traffic and the capture recorder's frame
+// accounting. All of them are scrape-time closures over state the
+// transports already keep; the recorder's closures take recMu because the
+// single-file CaptureWriter is not internally synchronized.
+func registerTransportObs(reg *pcsmon.MetricsRegistry, tcpSrv *fieldbus.Server,
+	udpSrv *fieldbus.UDPServer, recMu *sync.Mutex, rec frameRecorder) error {
+	if tcpSrv != nil {
+		if err := reg.CounterFunc("pcsmon_transport_tcp_frames_total",
+			"Valid frames received over the TCP listener.",
+			func() float64 { return float64(tcpSrv.Frames()) }); err != nil {
+			return err
+		}
+	}
+	if udpSrv != nil {
+		if err := reg.CounterFunc("pcsmon_transport_udp_datagrams_total",
+			"Datagrams received over the UDP listener.",
+			func() float64 { return float64(udpSrv.Stats().Datagrams) }); err != nil {
+			return err
+		}
+		if err := reg.CounterFunc("pcsmon_transport_udp_corrupt_total",
+			"Corrupt datagrams dropped by the UDP listener.",
+			func() float64 { return float64(udpSrv.Stats().Corrupt) }); err != nil {
+			return err
+		}
+	}
+	if rec == nil {
+		return nil
+	}
+	if err := reg.CounterFunc("pcsmon_capture_frames_total",
+		"Frames appended to the capture recording.",
+		func() float64 {
+			recMu.Lock()
+			defer recMu.Unlock()
+			return float64(rec.Frames())
+		}); err != nil {
+		return err
+	}
+	if err := reg.GaugeFunc("pcsmon_capture_span_seconds",
+		"Capture time covered by the recording.",
+		func() float64 {
+			recMu.Lock()
+			defer recMu.Unlock()
+			return rec.Span().Seconds()
+		}); err != nil {
+		return err
+	}
+	sr, ok := rec.(*storeRecorder)
+	if !ok {
+		return nil
+	}
+	storeGauges := []struct {
+		name, help string
+		fn         func(fieldbus.StoreStats) float64
+	}{
+		{"pcsmon_capture_store_segments", "Segment files currently on disk (active included).",
+			func(s fieldbus.StoreStats) float64 { return float64(s.Segments) }},
+		{"pcsmon_capture_store_bytes", "Total size of the segment chain including sidecars.",
+			func(s fieldbus.StoreStats) float64 { return float64(s.Bytes) }},
+	}
+	for _, g := range storeGauges {
+		g := g
+		if err := reg.GaugeFunc(g.name, g.help, func() float64 {
+			recMu.Lock()
+			defer recMu.Unlock()
+			return g.fn(sr.st.Stats())
+		}); err != nil {
+			return err
+		}
+	}
+	storeCounters := []struct {
+		name, help string
+		fn         func(fieldbus.StoreStats) float64
+	}{
+		{"pcsmon_capture_store_rotations_total", "Segments sealed by rotation.",
+			func(s fieldbus.StoreStats) float64 { return float64(s.Rotations) }},
+		{"pcsmon_capture_store_pruned_total", "Segments deleted by retention.",
+			func(s fieldbus.StoreStats) float64 { return float64(s.Pruned) }},
+		{"pcsmon_capture_store_flushes_total", "Cadence/explicit flushes of the active segment.",
+			func(s fieldbus.StoreStats) float64 { return float64(s.Flushes) }},
+	}
+	for _, c := range storeCounters {
+		c := c
+		if err := reg.CounterFunc(c.name, c.help, func() float64 {
+			recMu.Lock()
+			defer recMu.Unlock()
+			return c.fn(sr.st.Stats())
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -35,6 +35,15 @@
 // speed):
 //
 //	mspctool replay -cal noc-process.csv -capture plant.cap -speed 100
+//
+// With -metrics, fleet and replay serve a shared ops endpoint: Prometheus
+// text exposition on /metrics, liveness + stall detection on /healthz, a
+// JSON per-unit health dump on /status and the net/http/pprof pages (the
+// old -pprof flag is a deprecated alias). The status subcommand renders a
+// running monitor's /status as a live per-unit table:
+//
+//	mspctool fleet -cal noc-process.csv -listen 127.0.0.1:7700 -metrics 127.0.0.1:9101
+//	mspctool status -watch 2s 127.0.0.1:9101
 package main
 
 import (
@@ -70,6 +79,9 @@ func run(args []string) error {
 	}
 	if len(args) > 0 && args[0] == "replay" {
 		return runReplay(args[1:], os.Stdout)
+	}
+	if len(args) > 0 && args[0] == "status" {
+		return runStatus(args[1:], os.Stdout)
 	}
 	fs := flag.NewFlagSet("mspctool", flag.ContinueOnError)
 	var (

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/obs/opsserver"
+)
+
+// resolveOpsAddr folds the deprecated -pprof flag into -metrics: one ops
+// listener serves /metrics, /healthz, /status and /debug/pprof/*. Giving
+// only -pprof keeps working (with a deprecation note); giving both with
+// different addresses is a configuration error — there is one server now.
+func resolveOpsAddr(cmd, metricsAddr, pprofAddr string, out io.Writer) (string, error) {
+	if pprofAddr == "" {
+		return metricsAddr, nil
+	}
+	switch {
+	case metricsAddr == "":
+		fmt.Fprintf(out, "note: -pprof is deprecated, use -metrics (pprof is served from the ops endpoint at /debug/pprof/)\n")
+		return pprofAddr, nil
+	case metricsAddr == pprofAddr:
+		return metricsAddr, nil
+	}
+	return "", fmt.Errorf("%s: -pprof %s conflicts with -metrics %s (one ops listener serves both; drop -pprof): %w",
+		cmd, pprofAddr, metricsAddr, pcsmon.ErrBadConfig)
+}
+
+// startOps starts the shared ops HTTP server: Prometheus exposition on
+// /metrics, liveness + stall detection on /healthz, the per-unit health
+// dump on /status and the net/http/pprof pages the old -pprof flag served.
+// An unusable address is a configuration error, reported before any
+// scoring starts.
+func startOps(cmd, addr string, o *pcsmon.Observability, totals func() map[string]float64,
+	lastActivity func() time.Time, out io.Writer) (*opsserver.Server, error) {
+	srv, err := opsserver.Start(addr, opsserver.Options{
+		Metrics:      o.Metrics,
+		Health:       o.Health,
+		Totals:       totals,
+		LastActivity: lastActivity,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%s: -metrics %s: %v: %w", cmd, addr, err, pcsmon.ErrBadConfig)
+	}
+	fmt.Fprintf(out, "ops listening on %s (/metrics /healthz /status /debug/pprof/)\n", srv.URL())
+	return srv, nil
+}
+
+// fleetTotals builds the /status aggregate map from the fleet's counters
+// plus — once live ingestion created it — the pairing accounting. Both
+// producers are handed over lazily (setFleet, setPairing) because the ops
+// server starts before calibration; a scrape that races startup just sees
+// an empty totals map.
+type fleetTotals struct {
+	mu sync.Mutex
+	fl *pcsmon.Fleet
+	pi *pcsmon.PairingIngest
+}
+
+func (t *fleetTotals) setFleet(fl *pcsmon.Fleet) {
+	t.mu.Lock()
+	t.fl = fl
+	t.mu.Unlock()
+}
+
+func (t *fleetTotals) setPairing(pi *pcsmon.PairingIngest) {
+	t.mu.Lock()
+	t.pi = pi
+	t.mu.Unlock()
+}
+
+func (t *fleetTotals) totals() map[string]float64 {
+	t.mu.Lock()
+	fl, pi := t.fl, t.pi
+	t.mu.Unlock()
+	m := map[string]float64{}
+	if fl == nil {
+		return m
+	}
+	st := fl.Stats()
+	m = map[string]float64{
+		"fleet_active_streams":   float64(st.Active),
+		"fleet_attached":         float64(st.Attached),
+		"fleet_observations":     float64(st.Observations),
+		"fleet_alarms":           float64(st.Alarms),
+		"fleet_verdicts":         float64(st.Verdicts),
+		"fleet_model_swaps":      float64(st.ModelSwaps),
+		"fleet_model_generation": float64(st.ModelGeneration),
+		"fleet_obs_per_sec":      st.ObsPerSec,
+	}
+	if pi != nil {
+		ps := pi.Stats()
+		m["pairing_frames"] = float64(ps.Frames)
+		m["pairing_paired"] = float64(ps.Paired)
+		m["pairing_orphans"] = float64(ps.OrphanSensors + ps.OrphanActuators)
+		m["pairing_gap_seqs"] = float64(ps.GapSeqs)
+		m["pairing_duplicates"] = float64(ps.Duplicates)
+		m["pairing_stale"] = float64(ps.Stale)
+		m["pairing_loss_ratio"] = ps.LossRate()
+		m["pairing_deduped"] = float64(pi.Deduped())
+	}
+	return m
+}
+
+// startStatsTicker prints a progress line from the live registries every
+// interval — the -stats-every fix for the "counters only visible at exit"
+// staleness. Returns a stop function; a zero interval is a no-op.
+func startStatsTicker(interval time.Duration, t *fleetTotals, out io.Writer) func() {
+	if interval <= 0 {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-tick.C:
+				t.mu.Lock()
+				fl, pi := t.fl, t.pi
+				t.mu.Unlock()
+				if fl == nil {
+					continue
+				}
+				st := fl.Stats()
+				line := fmt.Sprintf("stats: %d active, %d obs, %d alarms, %.0f obs/sec",
+					st.Active, st.Observations, st.Alarms, st.ObsPerSec)
+				if pi != nil {
+					ps := pi.Stats()
+					line += fmt.Sprintf(", pairing %d frames (loss %.2f%%)", ps.Frames, 100*ps.LossRate())
+				}
+				fmt.Fprintln(out, line)
+			}
+		}
+	}()
+	return func() { close(quit); wg.Wait() }
+}

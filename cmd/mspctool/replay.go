@@ -43,7 +43,9 @@ func runReplay(args []string, out io.Writer) error {
 		pairWindow  = fs.Int("pair-window", 64, "reorder window for sensor/actuator frame pairing, in sequence numbers")
 		pairTimeout = fs.Duration("pair-timeout", 2*time.Second, "flush observations whose mate frame is this late in capture time (0 = never)")
 		batch       = fs.Int("batch", 0, "observations aggregated per worker delivery (0 = default 16, 1 = per-observation)")
-		pprofAddr   = fs.String("pprof", "", "serve net/http/pprof on this address while the replay runs")
+		metricsAddr = fs.String("metrics", "", "serve the ops endpoints (/metrics /healthz /status /debug/pprof/) on this address while the replay runs")
+		statsEvery  = fs.Duration("stats-every", 0, "print a live progress line with the fleet/pairing counters on this cadence (0 = off)")
+		pprofAddr   = fs.String("pprof", "", "deprecated alias for -metrics (pprof is served from the ops endpoint)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -77,13 +79,29 @@ func runReplay(args []string, out io.Writer) error {
 		return fmt.Errorf("mspctool replay: -to %v is before -from %v: %w", *to, *from, pcsmon.ErrBadConfig)
 	case *dedup < 0:
 		return fmt.Errorf("mspctool replay: -dedup %d must be >= 0: %w", *dedup, pcsmon.ErrBadConfig)
+	case *statsEvery < 0:
+		return fmt.Errorf("mspctool replay: -stats-every %v must be >= 0: %w", *statsEvery, pcsmon.ErrBadConfig)
 	}
-	if *pprofAddr != "" {
-		pp, err := startPprof(*pprofAddr, out)
-		if err != nil {
-			return err
+	opsAddr, err := resolveOpsAddr("mspctool replay", *metricsAddr, *pprofAddr, out)
+	if err != nil {
+		return err
+	}
+	// The ops listener binds before the capture is opened or the model is
+	// calibrated so an unusable -metrics address fails up front. The
+	// replay's activity timestamp feeds its /healthz stall probe: a wedged
+	// replay (stuck capture source) reports stalled.
+	var observability *pcsmon.Observability
+	var lastSeen atomic.Int64
+	lastSeen.Store(time.Now().UnixNano())
+	totals := &fleetTotals{}
+	if opsAddr != "" {
+		observability = pcsmon.NewObservability()
+		ops, oerr := startOps("mspctool replay", opsAddr, observability, totals.totals,
+			func() time.Time { return time.Unix(0, lastSeen.Load()) }, out)
+		if oerr != nil {
+			return oerr
 		}
-		defer func() { _ = pp.Close() }()
+		defer func() { _ = ops.Close() }()
 	}
 
 	// A chain reader replays either a single capture file or the rotated
@@ -105,6 +123,7 @@ func runReplay(args []string, out io.Writer) error {
 		Batch:     *batch,
 		EmitEvery: *every,
 		Sample:    time.Duration(*sampleSec * float64(time.Second)),
+		Obs:       observability,
 	})
 	if err != nil {
 		return err
@@ -140,6 +159,10 @@ func runReplay(args []string, out io.Writer) error {
 	if err != nil {
 		return fail(err)
 	}
+	totals.setFleet(fl)
+	totals.setPairing(pi)
+	stopStats := startStatsTicker(*statsEvery, totals, out)
+	defer stopStats()
 
 	fmt.Fprintf(out, "replaying %s", *capPath)
 	if cr.Segments() > 1 {
@@ -186,6 +209,7 @@ func runReplay(args []string, out io.Writer) error {
 			}
 		}
 		vnow.Store(int64(ts))
+		lastSeen.Store(time.Now().UnixNano())
 		offered, offerErr := pi.OfferFrame(f)
 		if offerErr != nil {
 			return fail(offerErr)

@@ -63,6 +63,11 @@ type FleetOptions struct {
 	// stream migrates to accepted model generations at its own
 	// diagnosis-window boundaries (surfaced as ModelSwapped events).
 	Adaptive AdaptiveOptions
+	// Obs, when non-nil, wires the fleet into an observability bundle: the
+	// pool registers its metrics on Obs.Metrics and tracks per-unit live
+	// state in Obs.Health (see NewObservability). Instrumentation keeps the
+	// scoring path at 0 allocs/observation.
+	Obs *Observability
 }
 
 // Fleet scores many concurrent plant streams against one calibrated
@@ -71,6 +76,7 @@ type FleetOptions struct {
 // concurrent use.
 type Fleet struct {
 	pool   *fleet.Pool
+	obs    *Observability // nil when observability is off
 	events chan FleetEvent
 	done   chan struct{}
 }
@@ -79,7 +85,7 @@ type Fleet struct {
 // caller must consume Events() until it closes (after Close); a stalled
 // consumer back-pressures producers rather than losing events.
 func NewFleet(sys *System, opts FleetOptions) (*Fleet, error) {
-	pool, err := fleet.NewPool(sys, fleet.Config{
+	cfg := fleet.Config{
 		Workers:     opts.Workers,
 		Mailbox:     opts.Mailbox,
 		Batch:       opts.Batch,
@@ -88,12 +94,18 @@ func NewFleet(sys *System, opts FleetOptions) (*Fleet, error) {
 		EmitEvery:   opts.EmitEvery,
 		Sample:      opts.Sample,
 		Adapt:       opts.Adaptive,
-	})
+	}
+	if opts.Obs != nil {
+		cfg.Metrics = opts.Obs.Metrics
+		cfg.Health = opts.Obs.Health
+	}
+	pool, err := fleet.NewPool(sys, cfg)
 	if err != nil {
 		return nil, fmt.Errorf("pcsmon: %w", err)
 	}
 	f := &Fleet{
 		pool:   pool,
+		obs:    opts.Obs,
 		events: make(chan FleetEvent, max(opts.EventBuffer, 1)),
 		done:   make(chan struct{}),
 	}

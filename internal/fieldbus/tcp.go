@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // Wire format over TCP: each frame is length-prefixed with a big-endian
@@ -81,6 +82,7 @@ func ReadFrameInto(r io.Reader, f *Frame, buf []byte) ([]byte, error) {
 type Server struct {
 	ln      net.Listener
 	handler func(*Frame)
+	frames  atomic.Uint64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -152,9 +154,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+		s.frames.Add(1)
 		s.handler(&frame)
 	}
 }
+
+// Frames returns the number of valid frames received across all
+// connections since the server started.
+func (s *Server) Frames() uint64 { return s.frames.Load() }
 
 // Close stops the listener, closes all connections and waits for the
 // serving goroutines to exit.

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 	"time"
+
+	"pcsmon/internal/obs"
 )
 
 // TestBatchedParityAcrossBatchSizes: every Batch setting — per-observation
@@ -146,12 +148,25 @@ func TestBatchConfigValidation(t *testing.T) {
 // with the consumer recycling its Scored events — performs zero allocations
 // end to end.
 func TestSteadyStateZeroAllocPerObservation(t *testing.T) {
+	// The metrics variant pins the observability tentpole's headline
+	// invariant: full instrumentation (scoring-latency histogram, batch
+	// occupancy, per-unit health handle) must not cost a single allocation
+	// on the hot path either.
+	t.Run("bare", func(t *testing.T) { testSteadyStateZeroAlloc(t, Config{}) })
+	t.Run("metrics", func(t *testing.T) {
+		testSteadyStateZeroAlloc(t, Config{
+			Metrics: obs.NewRegistry(),
+			Health:  obs.NewHealthRegistry(),
+		})
+	})
+}
+
+func testSteadyStateZeroAlloc(t *testing.T, cfg Config) {
 	sys := testSystem(t)
 	const batch = 8
 	ctrl, proc := plantRows(51, 1, 0, 0, 0)
-	p, err := NewPool(sys, Config{
-		Workers: 1, Batch: batch, FlushEvery: -1, EmitEvery: 1, Sample: time.Second,
-	})
+	cfg.Workers, cfg.Batch, cfg.FlushEvery, cfg.EmitEvery, cfg.Sample = 1, batch, -1, 1, time.Second
+	p, err := NewPool(sys, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -42,6 +42,7 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,7 @@ import (
 	"pcsmon/internal/adapt"
 	"pcsmon/internal/core"
 	"pcsmon/internal/mspc"
+	"pcsmon/internal/obs"
 )
 
 // Package-level sentinel errors.
@@ -163,6 +165,17 @@ type Config struct {
 	// Adapt enables the fleet-wide adaptive recalibration layer (zero =
 	// frozen model, the bit-reproducible default).
 	Adapt adapt.Options
+	// Metrics, when non-nil, receives the pool's observability series:
+	// scrape-time counter/gauge closures over the aggregate atomics plus
+	// the hot-path scoring-latency and batch-occupancy histograms (both
+	// recorded without allocating — the 0 allocs/obs invariant holds with
+	// metrics on).
+	Metrics *obs.Registry
+	// Health, when non-nil, tracks per-unit live state (last-seen, current
+	// T²/SPE vs. limits, alarm views, generation, verdict); each stream
+	// holds its handle directly, so the per-observation update is a few
+	// atomic stores with no registry lookup.
+	Health *obs.HealthRegistry
 }
 
 func (c Config) withDefaults() Config {
@@ -233,7 +246,8 @@ type stream struct {
 	w  *worker
 
 	oa       *core.OnlineAnalyzer
-	gen      uint64 // model generation the analyzer is scored against
+	gen      uint64          // model generation the analyzer is scored against
+	hp       *obs.UnitHealth // nil when Config.Health is unset
 	samples  int
 	finished bool
 
@@ -293,6 +307,12 @@ type Pool struct {
 	scratch sync.Pool // *[]float64 row boxes of cols length
 	batches sync.Pool // *obsBatch boxes of cfg.Batch capacity
 	scored  sync.Pool // *Scored emission boxes, refilled by Recycle
+
+	// Observability hooks wired by registerObs (all nil/no-op when
+	// Config.Metrics / Config.Health are unset).
+	scoreLatency *obs.Histogram
+	batchOcc     *obs.Histogram
+	health       *obs.HealthRegistry
 
 	flushQuit chan struct{} // stops the batch flusher (nil when unbatched)
 
@@ -365,6 +385,10 @@ func NewPool(sys *core.System, cfg Config) (*Pool, error) {
 		p.wg.Add(1)
 		go p.flushLoop()
 	}
+	if err := p.registerObs(); err != nil {
+		_ = p.Close()
+		return nil, err
+	}
 	return p, nil
 }
 
@@ -402,6 +426,12 @@ func (p *Pool) Attach(id string, onset int) error {
 	}
 	w := p.shard(id)
 	st := &stream{id: id, w: w, oa: oa, gen: gen, done: make(chan struct{})}
+	if p.health != nil {
+		st.hp = p.health.Attach(id)
+		st.hp.SetGeneration(gen)
+		lim := sys.Monitor().Limits()
+		st.hp.SetLimits(lim.D99, lim.Q99)
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
@@ -727,6 +757,9 @@ func (w *worker) run() {
 		case msg.finish:
 			w.finish(st)
 		case msg.batch != nil:
+			if p.batchOcc != nil {
+				p.batchOcc.Observe(float64(msg.batch.n))
+			}
 			for i := 0; i < msg.batch.n; i++ {
 				w.score(st, msg.batch.ctrl[i], msg.batch.proc[i])
 				msg.batch.ctrl[i], msg.batch.proc[i] = nil, nil
@@ -757,6 +790,12 @@ func (w *worker) score(st *stream, ctrl, proc *[]float64) {
 	if proc != nil {
 		pr = *proc
 	}
+	// time.Now/Since do not allocate, so latency metering preserves the
+	// package's 0 allocs/observation contract.
+	var t0 time.Time
+	if p.scoreLatency != nil {
+		t0 = time.Now()
+	}
 	res, err := st.oa.Push(cr, pr)
 	if err != nil {
 		// Row-shape errors are caught in Push; anything here poisons
@@ -772,9 +811,32 @@ func (w *worker) score(st *stream, ctrl, proc *[]float64) {
 	if p.tracker != nil {
 		w.adaptStep(st, res, cr, pr)
 	}
+	if p.scoreLatency != nil {
+		p.scoreLatency.Observe(time.Since(t0).Seconds())
+	}
+	if st.hp != nil {
+		st.observeHealth(res)
+	}
 	p.putRow(ctrl)
 	p.putRow(proc)
 	w.emitStep(st, res)
+}
+
+// observeHealth feeds one step into the stream's per-unit health handle —
+// a handful of atomic stores, no locks, no allocation.
+func (st *stream) observeHealth(res core.StepResult) {
+	ctrlD, ctrlQ := math.NaN(), math.NaN()
+	procD, procQ := math.NaN(), math.NaN()
+	over := false
+	if res.Ctrl != nil {
+		ctrlD, ctrlQ = res.Ctrl.Stats.D, res.Ctrl.Stats.Q
+		over = res.Ctrl.Over()
+	}
+	if res.Proc != nil {
+		procD, procQ = res.Proc.Stats.D, res.Proc.Stats.Q
+		over = over || res.Proc.Over()
+	}
+	st.hp.Observe(time.Now().UnixNano(), ctrlD, ctrlQ, procD, procQ, over)
 }
 
 // adaptStep drives this stream through the shared tracker's per-observation
@@ -786,6 +848,10 @@ func (w *worker) adaptStep(st *stream, res core.StepResult, cr, pr []float64) {
 	st.gen, swap = p.tracker.Step(st.oa, res, cr, pr, p.window, st.gen)
 	if swap != nil {
 		p.modelSwaps.Add(1)
+		if st.hp != nil {
+			st.hp.SetGeneration(swap.Generation)
+			st.hp.SetLimits(swap.D99, swap.Q99)
+		}
 		p.events <- ModelSwapped{Plant: st.id, Swap: *swap}
 	}
 }
@@ -818,10 +884,16 @@ func (w *worker) emitStep(st *stream, res core.StepResult) {
 	}
 	if res.CtrlAlarm != nil {
 		p.alarms.Add(1)
+		if st.hp != nil {
+			st.hp.Alarm(obs.AlarmCtrl)
+		}
 		p.events <- Alarm{Plant: st.id, View: "controller", Detection: *res.CtrlAlarm}
 	}
 	if res.ProcAlarm != nil {
 		p.alarms.Add(1)
+		if st.hp != nil {
+			st.hp.Alarm(obs.AlarmProc)
+		}
 		p.events <- Alarm{Plant: st.id, View: "process", Detection: *res.ProcAlarm}
 	}
 }
@@ -837,6 +909,14 @@ func (st *stream) finalize() {
 			st.err = fmt.Errorf("fleet: %q: %w", st.id, err)
 		} else {
 			st.report = rep
+		}
+	}
+	if st.hp != nil {
+		switch {
+		case st.err != nil:
+			st.hp.SetVerdict("error")
+		case st.report != nil:
+			st.hp.SetVerdict(st.report.Verdict.String())
 		}
 	}
 }

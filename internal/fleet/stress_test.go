@@ -3,11 +3,14 @@ package fleet
 import (
 	"errors"
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"pcsmon/internal/core"
+	"pcsmon/internal/obs"
 )
 
 // TestStressManyConcurrentStreams is the engine's concurrency proof: 256+
@@ -296,4 +299,106 @@ func TestStressConcurrentAttachDetachChurn(t *testing.T) {
 	if st := p.Stats(); st.Verdicts != producers*rounds {
 		t.Errorf("verdicts %d, want %d", st.Verdicts, producers*rounds)
 	}
+}
+
+// TestStressScrapeUnderLoad is the observability tentpole's race proof: 8
+// producer goroutines push observations flat out while a scraper hammers
+// the three read surfaces a live /metrics + /status endpoint hits — the
+// pool's Stats() snapshot, the Prometheus exposition writer and the health
+// registry's per-unit snapshot. Run under the race detector this exercises
+// every reader/writer edge the ops server adds; the aggregate counters
+// must be monotone across scrapes and exact at quiescence.
+func TestStressScrapeUnderLoad(t *testing.T) {
+	const (
+		producers = 8
+		rows      = 400
+	)
+	sys := testSystem(t)
+	reg := obs.NewRegistry()
+	health := obs.NewHealthRegistry()
+	p, err := NewPool(sys, Config{
+		Workers: 4, EmitEvery: -1, Sample: 9 * time.Second,
+		Metrics: reg, Health: health,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for ev := range p.Events() {
+			p.Recycle(ev)
+		}
+	}()
+
+	ctrl, proc := plantRows(77, rows, 0, 0, 0)
+	errCh := make(chan error, producers)
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("unit-%d", g)
+			if err := p.Attach(id, 0); err != nil {
+				errCh <- err
+				return
+			}
+			for i := range ctrl {
+				if err := p.Push(id, ctrl[i], proc[i]); err != nil {
+					errCh <- err
+					return
+				}
+			}
+			if _, err := p.Detach(id); err != nil {
+				errCh <- err
+				return
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+
+	// The scraper: monotone counters, a well-formed exposition and a
+	// coherent health snapshot on every pass, concurrent with the pushes.
+	var lastObs uint64
+	scrapes := 0
+	for scraping := true; scraping; {
+		select {
+		case <-done:
+			scraping = false
+		default:
+		}
+		st := p.Stats()
+		if st.Observations < lastObs {
+			t.Fatalf("observations went backwards: %d after %d", st.Observations, lastObs)
+		}
+		lastObs = st.Observations
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+		for _, u := range health.Snapshot(time.Now()) {
+			if u.Observations < 0 {
+				t.Fatalf("negative observation count for %s", u.Unit)
+			}
+		}
+		scrapes++
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if st := p.Stats(); st.Observations != uint64(producers*rows) {
+		t.Errorf("observations %d, want %d", st.Observations, producers*rows)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("pcsmon_fleet_observations_total %d", producers*rows)
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("final exposition missing %q", want)
+	}
+	t.Logf("%d scrapes against %d observations", scrapes, producers*rows)
 }

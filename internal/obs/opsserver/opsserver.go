@@ -1,0 +1,139 @@
+// Package opsserver is the monitor's shared operations HTTP server: one
+// listener serving the Prometheus scrape endpoint, a liveness probe with
+// stall detection, the per-unit health dump the `mspctool status`
+// subcommand renders, and the net/http/pprof profiling pages the old
+// -pprof flag used to serve on its own listener.
+//
+// Endpoints:
+//
+//	GET /metrics        Prometheus text exposition of the obs.Registry
+//	GET /healthz        liveness JSON; 503 once ingest stalls past the
+//	                    configured horizon
+//	GET /status         JSON obs.StatusDoc: uptime, aggregate totals,
+//	                    per-unit health registry dump
+//	GET /debug/pprof/*  standard net/http/pprof handlers
+package opsserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"pcsmon/internal/obs"
+)
+
+// Options configures Start. Metrics is required; everything else is
+// optional.
+type Options struct {
+	// Metrics is the registry /metrics renders.
+	Metrics *obs.Registry
+	// Health, when non-nil, supplies the per-unit section of /status.
+	Health *obs.HealthRegistry
+	// Totals, when non-nil, is collected per /status request into the
+	// document's flat aggregate map (fleet counters, pairing accounting,
+	// transport totals — whatever the embedding process wants surfaced).
+	Totals func() map[string]float64
+	// LastActivity, when non-nil, feeds /healthz stall detection: once
+	// now-LastActivity() exceeds StallAfter the probe reports 503 with the
+	// idle duration, so an orchestrator can restart a wedged monitor.
+	LastActivity func() time.Time
+	// StallAfter is the idle horizon of the stall probe (0 with a
+	// LastActivity hook = 1 minute).
+	StallAfter time.Duration
+}
+
+// Server is a running ops endpoint. Create with Start; Close stops the
+// listener and the serving goroutine.
+type Server struct {
+	ln      net.Listener
+	srv     *http.Server
+	started time.Time
+	opts    Options
+}
+
+// Start listens on addr and serves the ops endpoints until Close.
+func Start(addr string, opts Options) (*Server, error) {
+	if opts.Metrics == nil {
+		return nil, fmt.Errorf("opsserver: nil metrics registry: %w", obs.ErrBadMetric)
+	}
+	if opts.LastActivity != nil && opts.StallAfter == 0 {
+		opts.StallAfter = time.Minute
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("opsserver: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, started: time.Now(), opts: opts}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/status", s.handleStatus)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:43210").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns the server's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error { return s.srv.Close() }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Metrics.WritePrometheus(w)
+}
+
+// healthzDoc is the /healthz body.
+type healthzDoc struct {
+	Status        string  `json:"status"` // "ok" or "stalled"
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	IdleSeconds   float64 `json:"idle_seconds,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	doc := healthzDoc{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds()}
+	code := http.StatusOK
+	if s.opts.LastActivity != nil {
+		idle := time.Since(s.opts.LastActivity())
+		doc.IdleSeconds = idle.Seconds()
+		if idle > s.opts.StallAfter {
+			doc.Status = "stalled"
+			code = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, code, doc)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	doc := obs.StatusDoc{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Units:         []obs.UnitStatus{},
+	}
+	if s.opts.Totals != nil {
+		doc.Totals = s.opts.Totals()
+	}
+	if s.opts.Health != nil {
+		doc.Units = s.opts.Health.Snapshot(time.Now())
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}

@@ -1,0 +1,108 @@
+package opsserver
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"pcsmon/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	c, err := reg.Counter("pcsmon_ops_frames_total", "frames")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(9)
+	health := obs.NewHealthRegistry()
+	health.Attach("unit-1").Observe(time.Now().UnixNano(), 1, 2, 3, 4, false)
+
+	s, err := Start("127.0.0.1:0", Options{
+		Metrics: reg,
+		Health:  health,
+		Totals:  func() map[string]float64 { return map[string]float64{"frames": 9} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	code, body := get(t, s.URL()+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "pcsmon_ops_frames_total 9") {
+		t.Errorf("/metrics code=%d body=%q", code, body)
+	}
+
+	code, body = get(t, s.URL()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+		t.Errorf("/healthz code=%d body=%q", code, body)
+	}
+
+	code, body = get(t, s.URL()+"/status")
+	if code != http.StatusOK {
+		t.Fatalf("/status code=%d", code)
+	}
+	var doc obs.StatusDoc
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("/status not JSON: %v\n%s", err, body)
+	}
+	if doc.Totals["frames"] != 9 || len(doc.Units) != 1 || doc.Units[0].Unit != "unit-1" {
+		t.Errorf("/status doc wrong: %+v", doc)
+	}
+
+	// pprof index must be served from the same listener (the folded -pprof).
+	code, body = get(t, s.URL()+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ code=%d", code)
+	}
+}
+
+func TestHealthzStallDetection(t *testing.T) {
+	reg := obs.NewRegistry()
+	last := time.Now().Add(-time.Hour)
+	s, err := Start("127.0.0.1:0", Options{
+		Metrics:      reg,
+		LastActivity: func() time.Time { return last },
+		StallAfter:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	code, body := get(t, s.URL()+"/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"status": "stalled"`) {
+		t.Errorf("stalled probe: code=%d body=%q", code, body)
+	}
+	last = time.Now()
+	code, _ = get(t, s.URL()+"/healthz")
+	if code != http.StatusOK {
+		t.Errorf("recovered probe: code=%d", code)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start("127.0.0.1:0", Options{}); !errors.Is(err, obs.ErrBadMetric) {
+		t.Errorf("nil registry: %v, want ErrBadMetric", err)
+	}
+	if _, err := Start("completely bogus:address:here", Options{Metrics: obs.NewRegistry()}); err == nil {
+		t.Error("bogus address accepted")
+	}
+}

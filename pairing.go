@@ -146,7 +146,21 @@ func (f *Fleet) NewPairingIngest(opts PairingOptions, emit func(FleetEvent)) (*P
 		return nil, fmt.Errorf("pcsmon: %w", err)
 	}
 	pi.cor = cor
+	if f.obs != nil && f.obs.Metrics != nil {
+		if err := pi.registerPairing(f.obs.Metrics); err != nil {
+			return nil, err
+		}
+	}
 	return pi, nil
+}
+
+// unitHealth returns the unit's health handle (nil when observability is
+// off or the unit has not attached yet).
+func (pi *PairingIngest) unitHealth(unit uint8) *UnitHealth {
+	if pi.fl.obs == nil || pi.fl.obs.Health == nil {
+		return nil
+	}
+	return pi.fl.obs.Health.Get(PlantID(unit))
 }
 
 // route converts one correlation outcome into fleet traffic: scoreable
@@ -160,12 +174,22 @@ func (pi *PairingIngest) route(ev pairing.Event) error {
 			return err
 		}
 		if ev.Held {
+			if hp := pi.unitHealth(ev.Unit); hp != nil {
+				hp.AddHeld(1)
+			}
 			pi.send(FleetEvent{Plant: id, Event: PairDropped{
 				Unit: ev.Unit, Seq: ev.Seq, Kind: ev.Outcome.String(), Held: true,
 			}})
 		}
 		return pi.fl.pool.Push(id, ev.Ctrl, ev.Proc)
 	case pairing.GapDetected, pairing.Duplicate, pairing.Stale, pairing.Outlier, pairing.EpochReset:
+		if hp := pi.unitHealth(ev.Unit); hp != nil {
+			n := ev.Span
+			if n == 0 {
+				n = 1
+			}
+			hp.AddDropped(n)
+		}
 		pi.send(FleetEvent{Plant: PlantID(ev.Unit), Event: PairDropped{
 			Unit: ev.Unit, Seq: ev.Seq, Kind: ev.Outcome.String(), Span: ev.Span,
 		}})
