@@ -83,6 +83,9 @@ func run(args []string) error {
 	if len(args) > 0 && args[0] == "status" {
 		return runStatus(args[1:], os.Stdout)
 	}
+	if len(args) > 0 && args[0] == "serve" {
+		return runServe(args[1:], os.Stdout)
+	}
 	fs := flag.NewFlagSet("mspctool", flag.ContinueOnError)
 	var (
 		calPath    = fs.String("cal", "", "NOC calibration CSV (required)")

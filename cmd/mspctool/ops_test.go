@@ -8,9 +8,11 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"regexp"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -52,6 +54,78 @@ func TestStatusFlagValidation(t *testing.T) {
 		if err := runStatus(args, &out); !errors.Is(err, pcsmon.ErrBadConfig) {
 			t.Errorf("%v: want ErrBadConfig, got %v", args, err)
 		}
+	}
+}
+
+// TestStatusWatchRedraw: -watch renders are deterministic — each refresh
+// is one atomic write that starts with the cursor-home + clear sequence,
+// so the stream splits into exactly one complete frame per cycle and a
+// later fetch repaints the same origin instead of scrolling. Driven for
+// two refresh cycles against a fake /status server whose document changes
+// between them.
+func TestStatusWatchRedraw(t *testing.T) {
+	var reqs atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/status" {
+			http.NotFound(w, r)
+			return
+		}
+		n := reqs.Add(1)
+		doc := pcsmon.StatusDoc{
+			UptimeSeconds: float64(n),
+			Totals:        map[string]float64{"fleet_observations": float64(100 * n)},
+			Units: []pcsmon.UnitStatus{{
+				Unit:         "unit-000",
+				Observations: uint64(100 * n),
+				D99:          9.9, Q99: 3.3,
+			}},
+		}
+		_ = json.NewEncoder(w).Encode(doc)
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := runStatus([]string{
+		"-watch", "10ms", "-n", "2",
+		strings.TrimPrefix(srv.URL, "http://"),
+	}, &out)
+	if err != nil {
+		t.Fatalf("status -watch: %v", err)
+	}
+	if got := reqs.Load(); got != 2 {
+		t.Fatalf("fake server saw %d fetches, want 2", got)
+	}
+
+	// The stream is exactly clearScreen+frame, twice: nothing before the
+	// first clear, nothing dangling after the second frame.
+	parts := strings.Split(out.String(), clearScreen)
+	if len(parts) != 3 || parts[0] != "" {
+		t.Fatalf("output is not two clear-prefixed frames (got %d parts, lead %q):\n%q",
+			len(parts), parts[0], out.String())
+	}
+	frames := parts[1:]
+	for i, frame := range frames {
+		obs := fmt.Sprintf("%d", 100*(i+1))
+		for _, want := range []string{
+			"monitor up", "UNIT", "unit-000", obs,
+			"totals: fleet_observations=" + obs,
+		} {
+			if !strings.Contains(frame, want) {
+				t.Errorf("frame %d missing %q:\n%q", i+1, want, frame)
+			}
+		}
+		if !strings.HasPrefix(frame, "monitor up") {
+			t.Errorf("frame %d does not start at the screen origin:\n%q", i+1, frame)
+		}
+	}
+	// The second cycle's document superseded the first: no stale count.
+	if strings.Contains(frames[1], "fleet_observations=100") {
+		t.Errorf("second frame still shows the first fetch's totals:\n%q", frames[1])
+	}
+
+	// -n only bites in watch mode and must itself be validated.
+	if err := runStatus([]string{"-n", "-1", "x:1"}, &out); !errors.Is(err, pcsmon.ErrBadConfig) {
+		t.Errorf("-n -1: want ErrBadConfig, got %v", err)
 	}
 }
 

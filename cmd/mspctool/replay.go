@@ -34,6 +34,7 @@ func runReplay(args []string, out io.Writer) error {
 		speed       = fs.Float64("speed", 0, "replay speed-up factor (1 = real time, 0 = as fast as possible)")
 		from        = fs.Duration("from", 0, "replay only records at or after this capture-relative time (segments outside the window are skipped via their index)")
 		to          = fs.Duration("to", 0, "replay only records at or before this capture-relative time (0 = to the end)")
+		unit        = fs.Int("unit", -1, "replay only this fieldbus unit's frames, 0-255 (segments without the unit are skipped via their index; -1 = every unit)")
 		dedup       = fs.Int("dedup", 0, "suppress content-identical frames seen within the last N frames (two-tap captures; 0 = off)")
 		sampleSec   = fs.Float64("sample", 4.5, "observation interval of the captured streams [s]")
 		onsetHour   = fs.Float64("onset-hour", 0, "hour the anomaly was injected, if known (applies to every plant)")
@@ -79,6 +80,8 @@ func runReplay(args []string, out io.Writer) error {
 		return fmt.Errorf("mspctool replay: -to %v is before -from %v: %w", *to, *from, pcsmon.ErrBadConfig)
 	case *dedup < 0:
 		return fmt.Errorf("mspctool replay: -dedup %d must be >= 0: %w", *dedup, pcsmon.ErrBadConfig)
+	case *unit < -1 || *unit > 255:
+		return fmt.Errorf("mspctool replay: -unit %d must be a fieldbus unit id (0-255) or -1: %w", *unit, pcsmon.ErrBadConfig)
 	case *statsEvery < 0:
 		return fmt.Errorf("mspctool replay: -stats-every %v must be >= 0: %w", *statsEvery, pcsmon.ErrBadConfig)
 	}
@@ -107,7 +110,11 @@ func runReplay(args []string, out io.Writer) error {
 	// A chain reader replays either a single capture file or the rotated
 	// segment chain a durable -record store wrote, as one stream; the
 	// -from/-to window seeks via the sealed segments' index sidecars.
-	cr, err := fieldbus.OpenCaptureChain(*capPath, fieldbus.ChainOptions{From: *from, To: *to})
+	copts := fieldbus.ChainOptions{From: *from, To: *to}
+	if *unit >= 0 {
+		copts.Units = []uint8{uint8(*unit)}
+	}
+	cr, err := fieldbus.OpenCaptureChain(*capPath, copts)
 	if err != nil {
 		return fmt.Errorf("mspctool replay: %w", err)
 	}
@@ -179,6 +186,9 @@ func runReplay(args []string, out io.Writer) error {
 			end = (*to).String()
 		}
 		fmt.Fprintf(out, ", window [%v, %s]", *from, end)
+	}
+	if *unit >= 0 {
+		fmt.Fprintf(out, ", unit %s only", pcsmon.PlantID(uint8(*unit)))
 	}
 	fmt.Fprintln(out)
 
@@ -255,7 +265,7 @@ func runReplay(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "dedup: %d redundant frames suppressed (window %d)\n", pi.Deduped(), *dedup)
 	}
 	if cr.SegmentsSkipped() > 0 {
-		fmt.Fprintf(out, "window seek: %d of %d segments skipped via index\n", cr.SegmentsSkipped(), cr.Segments())
+		fmt.Fprintf(out, "index seek: %d of %d segments skipped via index\n", cr.SegmentsSkipped(), cr.Segments())
 	}
 	printPlantReports(out, ids, printer)
 	effective := "∞"

@@ -303,8 +303,97 @@ func TestReplayRotatedChainAndWindow(t *testing.T) {
 			t.Errorf("window replay output missing %q:\n%s", want, text)
 		}
 	}
-	if m := regexp.MustCompile(`window seek: (\d+) of \d+ segments skipped`).FindStringSubmatch(text); m == nil || m[1] == "0" {
+	if m := regexp.MustCompile(`index seek: (\d+) of \d+ segments skipped`).FindStringSubmatch(text); m == nil || m[1] == "0" {
 		t.Errorf("no segments skipped by the window seek:\n%s", text)
+	}
+}
+
+// writeUnitPhaseStore records NOC traffic for unit 0 and then unit 7 in
+// disjoint phases of one chain timeline, so the early segments hold no
+// unit-7 frame at all — the shape a unit seek must exploit.
+func writeUnitPhaseStore(t *testing.T, base string, rows int, step time.Duration, segBytes int64) {
+	t.Helper()
+	st, err := fieldbus.OpenCaptureStore(base, fieldbus.StoreOptions{
+		SegmentBytes: segBytes,
+		FlushEvery:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same latent structure as the calibration CSV (seed 3): NOC traffic.
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for phase, u := range []uint8{0, 7} {
+		for i := 0; i < rows; i++ {
+			z := rng.NormFloat64()
+			row := make([]float64, m)
+			for j := range row {
+				row[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+			}
+			at := time.Duration(phase*rows+i) * step
+			for _, typ := range []fieldbus.FrameType{fieldbus.FrameSensor, fieldbus.FrameActuator} {
+				if err := st.WriteAt(&fieldbus.Frame{
+					Type: typ, Unit: u, Seq: uint64(i + 1), Values: row,
+				}, at); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReplayUnitSeek: -unit replays a single plant out of a mixed chain,
+// skipping the segments whose index sidecar shows the unit absent, and
+// never surfaces the other plants in the output.
+func TestReplayUnitSeek(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	base := filepath.Join(dir, "chain")
+	const rows = 100
+	writeUnitPhaseStore(t, base, rows, 20*time.Millisecond, 16<<10)
+	segs, err := filepath.Glob(base + ".*.pcscap")
+	if err != nil || len(segs) < 4 {
+		t.Fatalf("store did not rotate enough: %v segments, %v", segs, err)
+	}
+
+	var out bytes.Buffer
+	err = runReplay([]string{
+		"-cal", cal,
+		"-capture", base,
+		"-speed", "0",
+		"-sample", "9",
+		"-unit", "7",
+	}, &out)
+	if err != nil {
+		t.Fatalf("unit replay: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		", unit unit-007 only",
+		"plant unit-007 attached",
+		"plant unit-007: normal",
+		fmt.Sprintf("replay: %d frames", 2*rows),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("unit replay output missing %q:\n%s", want, text)
+		}
+	}
+	// The filtered-out plant must not attach, score, or report.
+	if strings.Contains(text, "unit-000") {
+		t.Errorf("filtered-out unit leaked into the replay:\n%s", text)
+	}
+	// Unit 0's first-half segments hold no unit-7 frame: the index seek
+	// must skip them without a scan.
+	if m := regexp.MustCompile(`index seek: (\d+) of \d+ segments skipped`).FindStringSubmatch(text); m == nil || m[1] == "0" {
+		t.Errorf("no segments skipped by the unit seek:\n%s", text)
 	}
 }
 
@@ -411,6 +500,8 @@ func TestReplayFlagValidation(t *testing.T) {
 		{"-cal", cal, "-capture", cap, "-to", "-1ms"},
 		{"-cal", cal, "-capture", cap, "-from", "2s", "-to", "1s"}, // window ends before it starts
 		{"-cal", cal, "-capture", cap, "-dedup", "-1"},
+		{"-cal", cal, "-capture", cap, "-unit", "256"},
+		{"-cal", cal, "-capture", cap, "-unit", "-2"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

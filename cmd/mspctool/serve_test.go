@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/control"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+)
+
+// writeServeConfig marshals a control-plane config to a file.
+func writeServeConfig(t *testing.T, dir string, cfg *control.Config) string {
+	t.Helper()
+	data, err := json.Marshal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "serve.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// scrape polls the command's output for the first line with the prefix,
+// returning the remainder of that line.
+func scrape(t *testing.T, out *syncBuffer, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				return rest
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%q never printed:\n%s", prefix, out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestServeCheck(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	path := writeServeConfig(t, dir, &control.Config{
+		Calibration: cal,
+		OnsetHour:   0.25,
+		Listeners:   control.Listeners{TCP: "127.0.0.1:0"},
+		Ops:         control.Ops{Addr: "127.0.0.1:0"},
+		Record:      control.Record{Path: filepath.Join(dir, "rec", "plant"), SegmentBytes: 1 << 20},
+		Cluster:     control.Cluster{Node: "a", Nodes: []string{"a", "b"}},
+	})
+
+	var out bytes.Buffer
+	if err := runServe([]string{"-config", path, "-check"}, &out); err != nil {
+		t.Fatalf("serve -check: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"config ok: ",
+		"cal=" + cal,
+		"tcp=127.0.0.1:0",
+		"ops=127.0.0.1:0",
+		"record=" + filepath.Join(dir, "rec", "plant"),
+		"cluster=a/2-nodes",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("-check output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The dry run starts nothing and touches nothing.
+	if _, err := os.Stat(filepath.Join(dir, "rec")); !os.IsNotExist(err) {
+		t.Errorf("-check created the record directory: %v", err)
+	}
+
+	if err := runServe(nil, &out); !errors.Is(err, pcsmon.ErrBadConfig) {
+		t.Errorf("missing -config: %v, want ErrBadConfig", err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"calibration": ""}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runServe([]string{"-config", bad, "-check"}, &out); !errors.Is(err, pcsmon.ErrBadConfig) {
+		t.Errorf("empty calibration accepted: %v", err)
+	}
+}
+
+// TestServeSIGTERMDrain is the graceful-shutdown e2e: a SIGTERM delivered
+// mid-stream must stop intake, score every frame already accepted (no
+// loss between the signal and the final reports), seal the capture chain's
+// tail, print per-unit verdicts and return nil.
+func TestServeSIGTERMDrain(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	recBase := filepath.Join(dir, "rec", "plant")
+	path := writeServeConfig(t, dir, &control.Config{
+		Calibration:   cal,
+		SampleSeconds: 9,
+		OnsetHour:     0.25, // row 100 at 9 s samples
+		Listeners:     control.Listeners{TCP: "127.0.0.1:0"},
+		Ops:           control.Ops{Addr: "127.0.0.1:0"},
+		Pairing:       control.Pairing{TimeoutSeconds: -1},
+		Record:        control.Record{Path: recBase, SegmentBytes: 32 << 10, FlushSeconds: -1},
+	})
+	if err := os.MkdirAll(filepath.Dir(recBase), 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() { errCh <- runServe([]string{"-config", path}, &out) }()
+	opsURL := scrape(t, &out, "control plane up: ops ")
+	addr := scrape(t, &out, "listening on ")
+
+	const (
+		rows  = 200
+		shift = 100
+	)
+	cli, err := fieldbus.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		z := rng.NormFloat64()
+		ctrl := make([]float64, m)
+		for j := 0; j < m; j++ {
+			ctrl[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		proc := append([]float64(nil), ctrl...)
+		if i >= shift {
+			ctrl[0] -= 30 // the views diverge: integrity attack on var 0
+			proc[0] += 30
+		}
+		if err := cli.Send(&fieldbus.Frame{Type: fieldbus.FrameSensor, Unit: 0, Seq: uint64(i + 1), Values: ctrl}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Send(&fieldbus.Frame{Type: fieldbus.FrameActuator, Unit: 0, Seq: uint64(i + 1), Values: proc}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Every frame is on the wire; wait until the plane has accepted them
+	// all, then deliver the signal. Anything accepted before the signal
+	// must reach its verdict — that is the lossless-drain contract.
+	waitAccepted(t, opsURL, 2*rows)
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("serve after SIGTERM: %v\n%s", err, out.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("serve never exited after SIGTERM:\n%s", out.String())
+	}
+
+	text := out.String()
+	for _, want := range []string{
+		"terminated: draining",
+		fmt.Sprintf("drain complete: %d frames accepted, %d paired, 0 refused after drain", 2*rows, rows),
+		"unit unit-000: integrity-attack",
+		fmt.Sprintf("serve: %d frames accepted, 1 units reported", 2*rows),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serve output missing %q:\n%s", want, text)
+		}
+	}
+
+	// The capture chain's tail was sealed on the way down: every segment
+	// has its index sidecar.
+	segs, err := filepath.Glob(recBase + ".*.pcscap")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no capture segments written: %v, %v", segs, err)
+	}
+	for _, seg := range segs {
+		if _, serr := os.Stat(strings.TrimSuffix(seg, ".pcscap") + ".pcsidx"); serr != nil {
+			t.Errorf("segment %s tail not sealed: %v", seg, serr)
+		}
+	}
+}
+
+// waitAccepted polls the ops /status document until the pairing layer has
+// accepted n frames.
+func waitAccepted(t *testing.T, opsURL string, n float64) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var doc struct {
+			Totals map[string]float64 `json:"totals"`
+		}
+		resp, err := http.Get(opsURL + "/status")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&doc)
+			_ = resp.Body.Close()
+		}
+		if err == nil && doc.Totals["pairing_frames"] >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("plane never accepted %g frames (status: %v, %v)", n, doc.Totals, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServeAPIDrain: POST /drain on the ops listener ends the serve loop
+// without any signal — the remote-operator shutdown path.
+func TestServeAPIDrain(t *testing.T) {
+	dir := t.TempDir()
+	cal := filepath.Join(dir, "cal.csv")
+	writeSynthetic(t, cal, 3, 800, -1, -1, 0)
+	path := writeServeConfig(t, dir, &control.Config{
+		Calibration:   cal,
+		SampleSeconds: 9,
+		Listeners:     control.Listeners{TCP: "127.0.0.1:0"},
+		Ops:           control.Ops{Addr: "127.0.0.1:0"},
+		Pairing:       control.Pairing{TimeoutSeconds: -1},
+	})
+
+	var out syncBuffer
+	errCh := make(chan error, 1)
+	go func() { errCh <- runServe([]string{"-config", path}, &out) }()
+	opsURL := scrape(t, &out, "control plane up: ops ")
+	addr := scrape(t, &out, "listening on ")
+
+	const rows = 80
+	cli, err := fieldbus.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = cli.Close() }()
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	w := make([]float64, m)
+	for j := range w {
+		w[j] = rng.NormFloat64()
+	}
+	for i := 0; i < rows; i++ {
+		z := rng.NormFloat64()
+		vals := make([]float64, m)
+		for j := 0; j < m; j++ {
+			vals[j] = 50 + z*w[j] + 0.3*rng.NormFloat64()
+		}
+		if err := cli.Send(&fieldbus.Frame{Type: fieldbus.FrameSensor, Unit: 4, Seq: uint64(i + 1), Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Send(&fieldbus.Frame{Type: fieldbus.FrameActuator, Unit: 4, Seq: uint64(i + 1), Values: vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitAccepted(t, opsURL, 2*rows)
+
+	resp, err := http.Post(opsURL+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /drain: %s", resp.Status)
+	}
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("serve after /drain: %v\n%s", err, out.String())
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatalf("serve never exited after POST /drain:\n%s", out.String())
+	}
+	text := out.String()
+	if strings.Contains(text, "draining\n") && strings.Contains(text, "terminated") {
+		t.Errorf("API drain logged a signal:\n%s", text)
+	}
+	for _, want := range []string{
+		"unit unit-004: normal",
+		fmt.Sprintf("serve: %d frames accepted, 1 units reported", 2*rows),
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serve output missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -26,6 +26,7 @@ func runStatus(args []string, out io.Writer) error {
 	var (
 		raw   = fs.Bool("json", false, "print the raw /status JSON instead of the table")
 		watch = fs.Duration("watch", 0, "refresh the table on this cadence until interrupted (0 = print once)")
+		n     = fs.Int("n", 0, "with -watch, exit after this many renders (0 = refresh until interrupted)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -37,23 +38,46 @@ func runStatus(args []string, out io.Writer) error {
 	if *watch < 0 {
 		return fmt.Errorf("mspctool status: -watch %v must be >= 0: %w", *watch, pcsmon.ErrBadConfig)
 	}
+	if *n < 0 {
+		return fmt.Errorf("mspctool status: -n %d must be >= 0: %w", *n, pcsmon.ErrBadConfig)
+	}
 	url := fs.Arg(0)
 	if !strings.Contains(url, "://") {
 		url = "http://" + url
 	}
 	url = strings.TrimSuffix(url, "/") + "/status"
 
-	for {
-		if err := printStatus(url, *raw, out); err != nil {
+	for i := 1; ; i++ {
+		w := out
+		var frame *strings.Builder
+		if *watch > 0 && !*raw {
+			// Each watch render is composed off-screen, prefixed by a
+			// cursor-home + clear-to-end, and written in one call: the
+			// terminal repaints in place instead of scrolling, and the
+			// screen is never left half-drawn between fetch and flush.
+			frame = &strings.Builder{}
+			frame.WriteString(clearScreen)
+			w = frame
+		}
+		if err := printStatus(url, *raw, w); err != nil {
 			return err
 		}
-		if *watch <= 0 {
+		if frame != nil {
+			if _, err := io.WriteString(out, frame.String()); err != nil {
+				return err
+			}
+		}
+		if *watch <= 0 || (*n > 0 && i >= *n) {
 			return nil
 		}
 		time.Sleep(*watch)
-		fmt.Fprintln(out)
 	}
 }
+
+// clearScreen homes the cursor and clears to the end of the screen; every
+// -watch render starts with exactly this sequence, so redraws land on the
+// same screen origin (and tests can split the stream into frames on it).
+const clearScreen = "\x1b[H\x1b[2J"
 
 func printStatus(url string, raw bool, out io.Writer) error {
 	client := &http.Client{Timeout: 10 * time.Second}

@@ -1,0 +1,397 @@
+// Control-plane: two `serve` processes split one fleet, operated entirely
+// over the HTTP/JSON control API.
+//
+// The demo stands up the full deployment shape in one process:
+//
+//   - a typed JSON config file per node (the same document `mspctool serve
+//     -config` takes), validated with field-path errors;
+//   - two control planes sharing one rendezvous-hash assignment table —
+//     each fieldbus unit deterministically belongs to exactly one node, so
+//     every ingest edge routes frames identically without coordination;
+//   - the ops API driven like an operator would: live per-unit health
+//     (GET /units/{id}), config introspection (GET /config, secrets
+//     redacted), a bearer-token-gated live reload of the reloadable subset
+//     (POST /reload) with non-reloadable changes refused, and a graceful
+//     remote drain (POST /drain) that scores every accepted frame before
+//     the final per-unit verdicts are reported.
+//
+// A MitM forges one variable on one unit mid-stream; the node owning that
+// unit convicts it as an integrity attack while the other node's unit
+// stays normal — one fleet, two processes, one consistent answer.
+//
+//	go run ./examples/control-plane
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/control"
+	"pcsmon/internal/control/router"
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/historian"
+)
+
+func main() {
+	if err := run(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "control-plane:", err)
+		os.Exit(1)
+	}
+}
+
+// syncWriter serializes the two planes' log goroutines onto one stream.
+type syncWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (s *syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// prefixWriter tags every log line with its node name.
+type prefixWriter struct {
+	out    io.Writer
+	prefix string
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	for _, line := range strings.Split(strings.TrimRight(string(b), "\n"), "\n") {
+		if _, err := fmt.Fprintf(p.out, "%s%s\n", p.prefix, line); err != nil {
+			return 0, err
+		}
+	}
+	return len(b), nil
+}
+
+const authToken = "swordfish" // ops.auth_token in both config files
+
+func run(w io.Writer) error {
+	out := &syncWriter{w: w}
+	dir, err := os.MkdirTemp("", "control-plane-example")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = os.RemoveAll(dir) }()
+
+	// Commissioning data: synthetic normal operation around one latent
+	// direction, the same discipline the live frames follow below.
+	cal := filepath.Join(dir, "cal.csv")
+	loadings, err := writeCalibration(cal, 800)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "calibration data: 800 NOC observations\n")
+
+	// One config document per node: identical except cluster.node, exactly
+	// like a real two-host deployment. OnsetHour 0.25 at 9 s samples puts
+	// the known anomaly onset at observation 100.
+	base := control.Config{
+		Calibration:   cal,
+		SampleSeconds: 9,
+		OnsetHour:     0.25,
+		Listeners:     control.Listeners{TCP: "127.0.0.1:0"},
+		Ops:           control.Ops{Addr: "127.0.0.1:0", AuthToken: authToken},
+		Pairing:       control.Pairing{TimeoutSeconds: -1},
+		Cluster:       control.Cluster{Nodes: []string{"node-a", "node-b"}},
+	}
+	nodes := base.Cluster.Nodes
+	planes := map[string]*control.Plane{}
+	configs := map[string]*control.Config{}
+	defer func() {
+		for _, p := range planes {
+			_ = p.Close()
+		}
+	}()
+	for _, node := range nodes {
+		cfg := base
+		cfg.Cluster.Node = node
+		path := filepath.Join(dir, node+".json")
+		data, err := json.MarshalIndent(&cfg, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+		loaded, err := control.Load(path) // the `serve -config` path: strict decode + validation
+		if err != nil {
+			return err
+		}
+		configs[node] = loaded
+		p, err := control.New(loaded, control.Options{
+			Out:        &prefixWriter{out: out, prefix: "[" + node + "] "},
+			ConfigPath: path,
+		})
+		if err != nil {
+			return err
+		}
+		planes[node] = p
+	}
+
+	// The scale-out seed: every edge computes the same unit→node owner from
+	// the membership alone, and the router forwards each frame to the
+	// owning plane's ingest.
+	tab, err := router.NewTable(nodes...)
+	if err != nil {
+		return err
+	}
+	rt, err := router.NewRouter(tab, map[string]router.Sink{
+		nodes[0]: planes[nodes[0]].Ingest,
+		nodes[1]: planes[nodes[1]].Ingest,
+	})
+	if err != nil {
+		return err
+	}
+	unitA, unitB, err := pickUnits(tab, nodes[0], nodes[1])
+	if err != nil {
+		return err
+	}
+	idA, idB := pcsmon.PlantID(unitA), pcsmon.PlantID(unitB)
+	fmt.Fprintf(out, "router: %s -> %s, %s -> %s (rendezvous assignment over %v)\n",
+		idA, nodes[0], idB, nodes[1], tab.Nodes())
+	// Membership change preview on a scratch table: rendezvous hashing
+	// moves only the units the new node wins, ~1/N of the fleet.
+	scratch, err := router.NewTable(nodes...)
+	if err != nil {
+		return err
+	}
+	moved, err := scratch.Add("node-c")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "router: adding node-c would move only %d of 256 units\n", len(moved))
+
+	// Stream two-view traffic for both units through the router. The MitM
+	// forges variable 0 on unitB's actuator link from the onset on: the
+	// controller view and the process view diverge — the cross-view
+	// signature of an integrity attack.
+	const (
+		rows  = 200
+		shift = 100
+	)
+	fmt.Fprintf(out, "streaming %d two-view observations per unit; MitM forges %s on %s at obs %d\n",
+		rows, historian.VarName(0), idB, shift)
+	rng := rand.New(rand.NewSource(17))
+	m := historian.NumVars
+	for i := 0; i < rows; i++ {
+		for _, unit := range []uint8{unitA, unitB} {
+			z := rng.NormFloat64()
+			ctrl := make([]float64, m)
+			for j := 0; j < m; j++ {
+				ctrl[j] = 50 + z*loadings[j] + 0.3*rng.NormFloat64()
+			}
+			proc := append([]float64(nil), ctrl...)
+			if unit == unitB && i >= shift {
+				ctrl[0] -= 30
+				proc[0] += 30
+			}
+			if err := rt.Route(&fieldbus.Frame{Type: fieldbus.FrameSensor, Unit: unit, Seq: uint64(i + 1), Values: ctrl}); err != nil {
+				return err
+			}
+			if err := rt.Route(&fieldbus.Frame{Type: fieldbus.FrameActuator, Unit: unit, Seq: uint64(i + 1), Values: proc}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Operate the deployment over the API, as a remote operator would.
+	ownerB := planes[tab.Owner(unitB)]
+	obs, err := pollUnitObservations(ownerB.OpsURL()+"/units/"+idB, rows)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "GET /units/%s: %d observations scored live\n", idB, obs)
+
+	var live control.Config
+	if err := apiGet(planes[nodes[0]].OpsURL()+"/config", &live); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "GET /config: cluster=%s/%d nodes, auth_token=%s\n",
+		live.Cluster.Node, len(live.Cluster.Nodes), live.Ops.AuthToken)
+
+	// Mutations need the bearer token; reads stay open for scrapes.
+	code, err := apiPost(planes[nodes[0]].OpsURL()+"/reload", "", nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "POST /reload without token: HTTP %d\n", code)
+
+	// The reloadable subset applies in place...
+	next := *configs[nodes[0]]
+	next.Ops.HealthzStallSeconds = 120
+	body, err := json.Marshal(&next)
+	if err != nil {
+		return err
+	}
+	if code, err = apiPost(planes[nodes[0]].OpsURL()+"/reload", authToken, body); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "POST /reload (healthz stall 60s -> 120s): HTTP %d\n", code)
+
+	// ...while anything wired into running goroutines is refused.
+	frozen := next
+	frozen.Fleet.Batch = 4
+	if body, err = json.Marshal(&frozen); err != nil {
+		return err
+	}
+	if code, err = apiPost(planes[nodes[0]].OpsURL()+"/reload", authToken, body); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "POST /reload (fleet.batch changed): HTTP %d — restart required\n", code)
+
+	// Graceful remote shutdown: POST /drain returns once every accepted
+	// frame is scored and the final verdicts are in the report table.
+	for _, node := range nodes {
+		if code, err = apiPost(planes[node].OpsURL()+"/drain", authToken, nil); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "POST /drain on %s: HTTP %d\n", node, code)
+	}
+	for _, node := range nodes {
+		if err := planes[node].Close(); err != nil {
+			return err
+		}
+	}
+
+	for _, node := range nodes {
+		reports := planes[node].Reports()
+		ids := make([]string, 0, len(reports))
+		for id := range reports {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			rep := reports[id]
+			fmt.Fprintf(out, "\n[%s] unit %s VERDICT: %s\n  %s\n", node, id, rep.Verdict, rep.Explanation)
+		}
+	}
+	fmt.Fprintf(out, "\nrouter forwarded %d frames (%d unrouted): two serve processes, one fleet,\n",
+		rt.Forwarded(), rt.Unrouted())
+	fmt.Fprintln(out, "and the same verdicts a single node would reach on the same frames.")
+	return nil
+}
+
+// writeCalibration writes n synthetic NOC rows and returns the latent
+// loading vector the live frames must share to be in-population.
+func writeCalibration(path string, n int) ([]float64, error) {
+	rng := rand.New(rand.NewSource(3))
+	m := historian.NumVars
+	loadings := make([]float64, m)
+	for j := range loadings {
+		loadings[j] = rng.NormFloat64()
+	}
+	d, err := dataset.New(historian.VarNames())
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		z := rng.NormFloat64()
+		row := make([]float64, m)
+		for j := 0; j < m; j++ {
+			row[j] = 50 + z*loadings[j] + 0.3*rng.NormFloat64()
+		}
+		if err := d.Append(row); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = f.Close() }()
+	if err := d.WriteCSV(f); err != nil {
+		return nil, err
+	}
+	return loadings, nil
+}
+
+// pickUnits returns the first unit owned by each node — the demo's two
+// monitored plants.
+func pickUnits(tab *router.Table, nodeA, nodeB string) (uint8, uint8, error) {
+	unitA, unitB, haveA, haveB := uint8(0), uint8(0), false, false
+	for u := 0; u < 256 && !(haveA && haveB); u++ {
+		switch tab.Owner(uint8(u)) {
+		case nodeA:
+			if !haveA {
+				unitA, haveA = uint8(u), true
+			}
+		case nodeB:
+			if !haveB {
+				unitB, haveB = uint8(u), true
+			}
+		}
+	}
+	if !haveA || !haveB {
+		return 0, 0, fmt.Errorf("rendezvous table assigned no units to one of %s/%s", nodeA, nodeB)
+	}
+	return unitA, unitB, nil
+}
+
+// pollUnitObservations polls GET /units/{id} until the unit's live health
+// shows at least want scored observations (scoring is asynchronous behind
+// the ingest), returning the observed count.
+func pollUnitObservations(url string, want int) (int, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var doc struct {
+			Health struct {
+				Observations int `json:"observations"`
+			} `json:"health"`
+		}
+		err := apiGet(url, &doc)
+		if err == nil && doc.Health.Observations >= want {
+			return doc.Health.Observations, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("unit never reached %d observations (last: %d, %v)", want, doc.Health.Observations, err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func apiGet(url string, doc any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return json.NewDecoder(resp.Body).Decode(doc)
+}
+
+// apiPost issues a control-API mutation and returns the HTTP status code
+// (the demo deliberately provokes 401/409 responses).
+func apiPost(url, token string, body []byte) (int, error) {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if token != "" {
+		req.Header.Set("Authorization", "Bearer "+token)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestControlPlaneEndToEnd runs the two-node control-plane demo
+// in-process: config files -> two planes -> rendezvous router -> API-driven
+// reload and drain must produce one consistent set of verdicts.
+func TestControlPlaneEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out); err != nil {
+		t.Fatalf("control-plane: %v\n%s", err, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"calibration data: 800 NOC observations",
+		"[node-a] control plane up: ops ",
+		"[node-b] control plane up: ops ",
+		"-> node-a",
+		"-> node-b",
+		"MitM forges",
+		"observations scored live",
+		"GET /config: cluster=node-a/2 nodes, auth_token=[redacted]",
+		"POST /reload without token: HTTP 401",
+		"POST /reload (healthz stall 60s -> 120s): HTTP 200",
+		"[node-a] reload 1 applied (healthz stall 2m0s, 0 unit overrides)",
+		"POST /reload (fleet.batch changed): HTTP 409 — restart required",
+		"POST /drain on node-a: HTTP 200",
+		"POST /drain on node-b: HTTP 200",
+		"[node-a] drain complete: ",
+		"[node-b] drain complete: ",
+		"VERDICT: normal",
+		"VERDICT: integrity-attack",
+		"router forwarded 800 frames (0 unrouted)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "ingest error") {
+		t.Errorf("ingest errors surfaced:\n%s", text)
+	}
+}

@@ -15,8 +15,8 @@ import (
 	"sync"
 	"time"
 
-	"pcsmon/internal/control"
 	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/plantctl"
 	"pcsmon/internal/te"
 )
 
@@ -75,7 +75,7 @@ func run(w io.Writer, samples, armAt int) error {
 	if err != nil {
 		return err
 	}
-	ctrl, err := control.NewTEController()
+	ctrl, err := plantctl.NewTEController()
 	if err != nil {
 		return err
 	}

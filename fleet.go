@@ -183,6 +183,10 @@ func (f *Fleet) Detach(plant string) (*Report, error) {
 // Stats snapshots the fleet's aggregate counters.
 func (f *Fleet) Stats() FleetStats { return f.pool.Stats() }
 
+// Plants lists the currently attached plant ids, sorted — the drain hook
+// a control plane uses to detach everything deterministically.
+func (f *Fleet) Plants() []string { return f.pool.Plants() }
+
 // Close finalizes every remaining stream, stops the workers and closes the
 // event channel. Idempotent.
 func (f *Fleet) Close() error {

@@ -1,0 +1,741 @@
+package control
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pcsmon"
+	"pcsmon/internal/core"
+	"pcsmon/internal/dataset"
+	"pcsmon/internal/fieldbus"
+	"pcsmon/internal/obs/opsserver"
+)
+
+// ErrDraining is returned by ingest entry points once a drain began.
+var ErrDraining = errors.New("control: plane is draining")
+
+// Options tunes New beyond the config file.
+type Options struct {
+	// Out receives the plane's log lines (nil = discard).
+	Out io.Writer
+	// System is a pre-calibrated monitoring system; nil calibrates from
+	// Config.Calibration (the serve path). Tests share one calibration
+	// across planes through this.
+	System *core.System
+	// ConfigPath, when set, is re-read on Reload(nil) — the SIGHUP path.
+	ConfigPath string
+}
+
+// UnitReport is one unit's final classified report, kept after detach or
+// drain and served from GET /units/{id}.
+type UnitReport struct {
+	Unit        string    `json:"unit"`
+	Verdict     string    `json:"verdict"`
+	AttackedVar int       `json:"attacked_var"`
+	Explanation string    `json:"explanation"`
+	DetachedAt  time.Time `json:"detached_at"`
+}
+
+// Plane is a running control plane: ingest listeners, the pairing →
+// fleet scoring pipeline, the optional capture store, and the ops/control
+// HTTP server. Create with New, stop with Drain (or Close, which also
+// abandons the ops listener).
+type Plane struct {
+	opts Options
+	out  io.Writer
+
+	cfgMu sync.Mutex
+	cfg   *Config
+
+	obs *pcsmon.Observability
+	fl  *pcsmon.Fleet
+	pi  *pcsmon.PairingIngest
+	ops *opsserver.Server
+
+	tcp *fieldbus.Server
+	udp *fieldbus.UDPServer
+
+	recMu sync.Mutex
+	rec   *fieldbus.CaptureStore
+
+	bus *bus
+
+	// unitOnsets is the reloadable per-unit onset table read by the
+	// pairing attach hook (-1 = inherit the global onset).
+	unitOnsets [256]atomic.Int64
+
+	lastSeen atomic.Int64 // UnixNano of the last accepted frame
+	accepted atomic.Uint64
+	rejected atomic.Uint64 // frames refused because a drain began
+	reloads  atomic.Uint64
+
+	draining  atomic.Bool
+	drainOnce sync.Once
+	drainErr  error
+	drained   chan struct{}
+
+	pumpDone chan struct{}
+
+	repMu   sync.Mutex
+	reports map[string]UnitReport
+}
+
+// New builds and starts a plane: calibrates (unless Options.System is
+// given), binds the ops listener and the ingest listeners, and starts
+// scoring. On error nothing is left running.
+func New(cfg *Config, opts Options) (*Plane, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plane{
+		opts:     opts,
+		out:      opts.Out,
+		cfg:      cfg,
+		obs:      pcsmon.NewObservability(),
+		bus:      newBus(),
+		drained:  make(chan struct{}),
+		pumpDone: make(chan struct{}),
+		reports:  map[string]UnitReport{},
+	}
+	if p.out == nil {
+		p.out = io.Discard
+	}
+	p.setUnitOnsets(cfg)
+	p.lastSeen.Store(time.Now().UnixNano())
+
+	// The ops listener binds first so an unusable address fails before the
+	// (expensive) calibration, like the flag path did.
+	ops, err := opsserver.Start(cfg.Ops.Addr, opsserver.Options{
+		Metrics:      p.obs.Metrics,
+		Health:       p.obs.Health,
+		Totals:       p.totals,
+		LastActivity: func() time.Time { return time.Unix(0, p.lastSeen.Load()) },
+		StallAfter:   cfg.StallHorizon(),
+		AuthToken:    cfg.Ops.AuthToken,
+		Extra: map[string]http.Handler{
+			"/units/": http.HandlerFunc(p.handleUnits),
+			"/config": http.HandlerFunc(p.handleConfig),
+			"/reload": http.HandlerFunc(p.handleReload),
+			"/drain":  http.HandlerFunc(p.handleDrain),
+			"/events": http.HandlerFunc(p.handleEvents),
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("control: ops listener %s: %v: %w", cfg.Ops.Addr, err, ErrBadConfig)
+	}
+	p.ops = ops
+	fail := func(err error) (*Plane, error) {
+		p.teardownPartial()
+		return nil, err
+	}
+
+	sys := opts.System
+	if sys == nil {
+		sys, err = calibrate(cfg, p.out)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
+	fl, err := pcsmon.NewFleet(sys, pcsmon.FleetOptions{
+		Workers:     cfg.Fleet.Workers,
+		Mailbox:     cfg.Fleet.Mailbox,
+		Batch:       cfg.Fleet.Batch,
+		FlushEvery:  time.Duration(cfg.Fleet.FlushEveryMS * float64(time.Millisecond)),
+		EventBuffer: cfg.Fleet.EventBuffer,
+		EmitEvery:   emitEvery(cfg),
+		Sample:      cfg.Sample(),
+		Adaptive:    adaptiveOptions(cfg),
+		Obs:         p.obs,
+	})
+	if err != nil {
+		return fail(err)
+	}
+	p.fl = fl
+	go p.pump()
+
+	pi, err := fl.NewPairingIngest(pcsmon.PairingOptions{
+		Window:     cfg.Pairing.Window,
+		Timeout:    cfg.PairTimeout(),
+		StallAfter: cfg.Pairing.StallAfter,
+		Onset:      cfg.OnsetIndex(),
+		OnsetFor:   p.onsetFor,
+		Dedup:      cfg.Pairing.Dedup,
+		OnAttach: func(plant string) {
+			fmt.Fprintf(p.out, "unit %s attached\n", plant)
+			p.bus.publish(Event{Type: "attached", Unit: plant}, json.Marshal)
+		},
+	}, p.pairingEvent)
+	if err != nil {
+		return fail(err)
+	}
+	p.pi = pi
+
+	if cfg.Record.Path != "" {
+		st, err := fieldbus.OpenCaptureStore(cfg.Record.Path, fieldbus.StoreOptions{
+			SegmentBytes: cfg.Record.SegmentBytes,
+			SegmentSpan:  time.Duration(cfg.Record.SegmentSpanSeconds * float64(time.Second)),
+			KeepSegments: cfg.Record.Keep,
+			KeepBytes:    cfg.Record.KeepBytes,
+			KeepAge:      time.Duration(cfg.Record.KeepAgeSeconds * float64(time.Second)),
+			FlushEvery:   recordFlush(cfg),
+		})
+		if err != nil {
+			return fail(fmt.Errorf("control: record.path: %w", err))
+		}
+		p.rec = st
+	}
+
+	if cfg.Listeners.TCP != "" {
+		p.tcp, err = fieldbus.NewServer(cfg.Listeners.TCP, p.ingest)
+		if err != nil {
+			return fail(fmt.Errorf("control: listeners.tcp: %w", err))
+		}
+		fmt.Fprintf(p.out, "listening on %s\n", p.tcp.Addr())
+	}
+	if cfg.Listeners.UDP != "" {
+		p.udp, err = fieldbus.NewUDPServer(cfg.Listeners.UDP, p.ingest)
+		if err != nil {
+			return fail(fmt.Errorf("control: listeners.udp: %w", err))
+		}
+		fmt.Fprintf(p.out, "listening on udp://%s\n", p.udp.Addr())
+	}
+	fmt.Fprintf(p.out, "control plane up: ops %s\n", p.ops.URL())
+
+	go p.tickLoop()
+	return p, nil
+}
+
+// teardownPartial unwinds a half-built plane on a New failure.
+func (p *Plane) teardownPartial() {
+	if p.tcp != nil {
+		_ = p.tcp.Close()
+	}
+	if p.udp != nil {
+		_ = p.udp.Close()
+	}
+	if p.rec != nil {
+		p.rec.Abandon()
+	}
+	if p.fl != nil {
+		_ = p.fl.Close()
+		<-p.pumpDone
+	}
+	p.bus.close()
+	_ = p.ops.Close()
+}
+
+// calibrate builds the monitoring system from the configured NOC CSV.
+func calibrate(cfg *Config, out io.Writer) (*core.System, error) {
+	f, err := os.Open(cfg.Calibration)
+	if err != nil {
+		return nil, fmt.Errorf("control: calibration: %v: %w", err, ErrBadConfig)
+	}
+	defer func() { _ = f.Close() }()
+	cal, err := dataset.ReadCSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("control: calibration %s: %w", cfg.Calibration, err)
+	}
+	sys, err := core.Calibrate(cal, core.Config{Components: cfg.Components})
+	if err != nil {
+		return nil, fmt.Errorf("control: calibration %s: %w", cfg.Calibration, err)
+	}
+	mon := sys.Monitor()
+	fmt.Fprintf(out, "calibrated on %d observations: A=%d components, limits D99=%.2f Q99=%.2f\n",
+		cal.Rows(), mon.Model().NComponents(), mon.Limits().D99, mon.Limits().Q99)
+	return sys, nil
+}
+
+// emitEvery maps the config's "0 = no scored events" convention onto the
+// fleet's "-1 = none" one: a service's SSE stream gets per-observation
+// scores only when explicitly asked for.
+func emitEvery(cfg *Config) int {
+	if cfg.Fleet.EmitEvery == 0 {
+		return -1
+	}
+	return cfg.Fleet.EmitEvery
+}
+
+func adaptiveOptions(cfg *Config) pcsmon.AdaptiveOptions {
+	if cfg.Adapt.Every == 0 {
+		return pcsmon.AdaptiveOptions{}
+	}
+	return pcsmon.AdaptiveOptions{Enabled: true, Every: cfg.Adapt.Every, Forget: cfg.Adapt.Forget}
+}
+
+func recordFlush(cfg *Config) time.Duration {
+	if cfg.Record.FlushSeconds < 0 {
+		return -1
+	}
+	return time.Duration(cfg.Record.FlushSeconds * float64(time.Second))
+}
+
+// setUnitOnsets loads the per-unit onset table from a (new) config.
+func (p *Plane) setUnitOnsets(cfg *Config) {
+	onsets := cfg.UnitOnsets()
+	for i := range onsets {
+		p.unitOnsets[i].Store(int64(onsets[i]))
+	}
+}
+
+// onsetFor is the pairing attach hook: the reloadable per-unit override.
+func (p *Plane) onsetFor(unit uint8) int {
+	return int(p.unitOnsets[unit].Load())
+}
+
+// Ingest offers one frame to the plane — the programmatic entry the
+// router's in-process sinks use; the TCP/UDP listeners funnel into the
+// same path. Frames are refused (ErrDraining) once a drain began.
+func (p *Plane) Ingest(f *fieldbus.Frame) error {
+	if p.draining.Load() {
+		p.rejected.Add(1)
+		return ErrDraining
+	}
+	p.ingest(f)
+	return nil
+}
+
+// ingest is the shared frame handler behind the listeners: record first
+// (the flight recorder sees everything, like the fleet subcommand), then
+// pair and score. Listener goroutines call it concurrently.
+func (p *Plane) ingest(f *fieldbus.Frame) {
+	if p.draining.Load() {
+		p.rejected.Add(1)
+		return
+	}
+	if p.rec != nil {
+		p.recMu.Lock()
+		err := p.rec.Record(f)
+		p.recMu.Unlock()
+		if err != nil {
+			fmt.Fprintf(p.out, "record error: %v\n", err)
+		}
+	}
+	offered, err := p.pi.OfferFrame(f)
+	if err != nil {
+		fmt.Fprintf(p.out, "ingest error: %v\n", err)
+		return
+	}
+	if offered {
+		p.accepted.Add(1)
+		p.lastSeen.Store(time.Now().UnixNano())
+	}
+}
+
+// pairingEvent forwards typed pairing events to the SSE bus and the log.
+func (p *Plane) pairingEvent(ev pcsmon.FleetEvent) {
+	switch e := ev.Event.(type) {
+	case pcsmon.ViewStalled:
+		fmt.Fprintf(p.out, "VIEW STALL [%s] %s frames missing since obs %d — scoring hold-last-value (DoS-consistent)\n",
+			ev.Plant, e.View, e.Seq)
+		p.bus.publish(Event{Type: "view-stalled", Unit: ev.Plant, Data: e}, json.Marshal)
+	case pcsmon.PairDropped:
+		p.bus.publish(Event{Type: "pair-dropped", Unit: ev.Plant, Data: e}, json.Marshal)
+	}
+}
+
+// pump is the single consumer of the fleet's event stream: it keeps the
+// final per-unit reports and republishes everything onto the SSE bus.
+func (p *Plane) pump() {
+	defer close(p.pumpDone)
+	for ev := range p.fl.Events() {
+		switch e := ev.Event.(type) {
+		case pcsmon.SampleScored:
+			p.bus.publish(Event{Type: "scored", Unit: ev.Plant, Data: e}, json.Marshal)
+		case pcsmon.AlarmRaised:
+			fmt.Fprintf(p.out, "ALARM [%s/%s] at obs %d (run start %d, charts %v)\n",
+				ev.Plant, e.View, e.Index, e.RunStart, e.Charts)
+			p.bus.publish(Event{Type: "alarm", Unit: ev.Plant, Data: e}, json.Marshal)
+		case pcsmon.ModelSwapped:
+			fmt.Fprintf(p.out, "MODEL SWAP [%s] at obs %d -> generation %d\n", ev.Plant, e.Index, e.Generation)
+			p.bus.publish(Event{Type: "model-swapped", Unit: ev.Plant, Data: e}, json.Marshal)
+		case pcsmon.VerdictReady:
+			// A stream that never scored an observation finishes without a
+			// report; it still gets a terminal entry so GET /units answers.
+			rep := UnitReport{
+				Unit:        ev.Plant,
+				Verdict:     "error",
+				AttackedVar: -1,
+				Explanation: "stream finished without a classifiable report",
+				DetachedAt:  time.Now(),
+			}
+			if e.Report != nil {
+				rep.Verdict = e.Report.Verdict.String()
+				rep.AttackedVar = e.Report.AttackedVar
+				rep.Explanation = e.Report.Explanation
+			}
+			p.repMu.Lock()
+			p.reports[ev.Plant] = rep
+			p.repMu.Unlock()
+			fmt.Fprintf(p.out, "unit %s: %s after %d observations\n", ev.Plant, rep.Verdict, e.Samples)
+			p.bus.publish(Event{Type: "verdict", Unit: ev.Plant, Data: rep}, json.Marshal)
+		}
+	}
+}
+
+// tickLoop drives the pairing age horizon and the capture store's
+// crash-durability flush until drain.
+func (p *Plane) tickLoop() {
+	flushEvery := recordFlush(p.config())
+	ticker := time.NewTicker(50 * time.Millisecond)
+	defer ticker.Stop()
+	lastFlush := time.Now()
+	for {
+		select {
+		case <-p.drained:
+			return
+		case <-ticker.C:
+			if p.draining.Load() {
+				return
+			}
+			if err := p.pi.Tick(time.Now()); err != nil && !p.draining.Load() {
+				fmt.Fprintf(p.out, "pairing tick error: %v\n", err)
+			}
+			if p.rec != nil && flushEvery > 0 && time.Since(lastFlush) >= flushEvery {
+				p.recMu.Lock()
+				ferr := p.rec.Flush()
+				p.recMu.Unlock()
+				lastFlush = time.Now()
+				if ferr != nil {
+					fmt.Fprintf(p.out, "record flush error: %v\n", ferr)
+				}
+			}
+		}
+	}
+}
+
+// Drain gracefully stops the plane: new frames are refused, the ingest
+// listeners close, the pairing correlator and fleet mailboxes flush,
+// every unit detaches (final verdicts land in the report table and on the
+// SSE bus), and the capture store seals its tail. Idempotent; safe from
+// any goroutine, including the plane's own HTTP handlers. The ops
+// listener stays up so /status, /units and final SSE events remain
+// readable; Close shuts it down.
+func (p *Plane) Drain() error {
+	p.drainOnce.Do(func() {
+		p.draining.Store(true)
+		fmt.Fprintf(p.out, "drain: refusing new frames\n")
+		p.bus.publish(Event{Type: "drain"}, json.Marshal)
+		// Stop the listeners so no receive goroutine races the flush.
+		if p.tcp != nil {
+			_ = p.tcp.Close()
+		}
+		if p.udp != nil {
+			_ = p.udp.Close()
+		}
+		// Everything accepted before the flag flipped is still in the
+		// correlator's reorder windows and the workers' mailboxes: flush the
+		// correlator (forcing out held observations), then detach every unit
+		// — Detach blocks until the stream's queue is scored and its verdict
+		// emitted, which is the losslessness contract.
+		var err error
+		if ferr := p.pi.Flush(); ferr != nil {
+			err = ferr
+		}
+		for _, id := range p.fl.Plants() {
+			if _, derr := p.fl.Detach(id); derr != nil {
+				// A unit with nothing scored (attached, never fed) has
+				// nothing to lose; any detach error is per-unit news — it
+				// lands in that unit's report, not in the drain's verdict.
+				fmt.Fprintf(p.out, "drain: detach %s: %v\n", id, derr)
+			}
+		}
+		if cerr := p.fl.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+		<-p.pumpDone
+		if p.rec != nil {
+			p.recMu.Lock()
+			if cerr := p.rec.Close(); cerr != nil && err == nil {
+				err = cerr // Close flushes and seals the unsealed tail
+			}
+			p.recMu.Unlock()
+		}
+		st := p.pi.Stats()
+		fmt.Fprintf(p.out, "drain complete: %d frames accepted, %d paired, %d refused after drain\n",
+			p.accepted.Load(), st.Paired, p.rejected.Load())
+		p.bus.close()
+		p.drainErr = err
+		close(p.drained)
+	})
+	<-p.drained
+	return p.drainErr
+}
+
+// Close drains (if not already drained) and stops the ops listener.
+func (p *Plane) Close() error {
+	err := p.Drain()
+	if cerr := p.ops.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Drained returns a channel closed once a drain completes.
+func (p *Plane) Drained() <-chan struct{} { return p.drained }
+
+// Draining reports whether a drain has begun.
+func (p *Plane) Draining() bool { return p.draining.Load() }
+
+// OpsURL returns the control API's base URL.
+func (p *Plane) OpsURL() string { return p.ops.URL() }
+
+// Accepted returns the number of observation frames accepted pre-drain.
+func (p *Plane) Accepted() uint64 { return p.accepted.Load() }
+
+// Reports snapshots the final per-unit reports (detached/drained units).
+func (p *Plane) Reports() map[string]UnitReport {
+	p.repMu.Lock()
+	defer p.repMu.Unlock()
+	out := make(map[string]UnitReport, len(p.reports))
+	for k, v := range p.reports {
+		out[k] = v
+	}
+	return out
+}
+
+func (p *Plane) config() *Config {
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	return p.cfg
+}
+
+// Reload applies a new config's reloadable subset — the /healthz stall
+// horizon and the per-unit overrides. A nil next re-reads
+// Options.ConfigPath (the SIGHUP path). Non-reloadable changes are
+// rejected with ErrNotReloadable and nothing is applied.
+func (p *Plane) Reload(next *Config) error {
+	if next == nil {
+		if p.opts.ConfigPath == "" {
+			return fmt.Errorf("control: reload: no config path to re-read: %w", ErrBadConfig)
+		}
+		loaded, err := Load(p.opts.ConfigPath)
+		if err != nil {
+			return err
+		}
+		next = loaded
+	}
+	if err := next.Validate(); err != nil {
+		return err
+	}
+	p.cfgMu.Lock()
+	defer p.cfgMu.Unlock()
+	if err := p.cfg.CheckReload(next); err != nil {
+		return err
+	}
+	p.cfg = next
+	p.setUnitOnsets(next)
+	p.ops.SetStallAfter(next.StallHorizon())
+	n := p.reloads.Add(1)
+	fmt.Fprintf(p.out, "reload %d applied (healthz stall %v, %d unit overrides)\n",
+		n, next.StallHorizon(), len(next.Units))
+	return nil
+}
+
+// totals builds the /status aggregate map (fleet + pairing + control
+// counters), mirroring the fleet subcommand's document so `mspctool
+// status` renders either.
+func (p *Plane) totals() map[string]float64 {
+	m := map[string]float64{}
+	if p.fl == nil {
+		return m
+	}
+	st := p.fl.Stats()
+	m["fleet_active_streams"] = float64(st.Active)
+	m["fleet_attached"] = float64(st.Attached)
+	m["fleet_observations"] = float64(st.Observations)
+	m["fleet_alarms"] = float64(st.Alarms)
+	m["fleet_verdicts"] = float64(st.Verdicts)
+	m["fleet_model_swaps"] = float64(st.ModelSwaps)
+	m["fleet_model_generation"] = float64(st.ModelGeneration)
+	m["fleet_obs_per_sec"] = st.ObsPerSec
+	if p.pi != nil {
+		ps := p.pi.Stats()
+		m["pairing_frames"] = float64(ps.Frames)
+		m["pairing_paired"] = float64(ps.Paired)
+		m["pairing_orphans"] = float64(ps.OrphanSensors + ps.OrphanActuators)
+		m["pairing_gap_seqs"] = float64(ps.GapSeqs)
+		m["pairing_duplicates"] = float64(ps.Duplicates)
+		m["pairing_stale"] = float64(ps.Stale)
+		m["pairing_loss_ratio"] = ps.LossRate()
+		m["pairing_deduped"] = float64(p.pi.Deduped())
+		m["pairing_quiesced_drops"] = float64(p.pi.QuiescedDrops())
+	}
+	m["control_frames_accepted"] = float64(p.accepted.Load())
+	m["control_frames_rejected"] = float64(p.rejected.Load())
+	m["control_reloads"] = float64(p.reloads.Load())
+	m["control_events_published"] = float64(p.bus.published.Load())
+	m["control_events_dropped"] = float64(p.bus.dropped.Load())
+	if p.draining.Load() {
+		m["control_draining"] = 1
+	}
+	return m
+}
+
+// ---- HTTP API ----
+
+// apiError is the control API's error envelope.
+func apiError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// handleUnits routes GET /units/{id} and POST /units/{id}/{attach|detach|drain}.
+func (p *Plane) handleUnits(w http.ResponseWriter, r *http.Request) {
+	rest := strings.TrimPrefix(r.URL.Path, "/units/")
+	idPart, action, _ := strings.Cut(rest, "/")
+	unit, err := parseUnitKey(idPart)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id := pcsmon.PlantID(unit)
+	switch {
+	case r.Method == http.MethodGet && action == "":
+		p.serveUnit(w, unit, id)
+	case r.Method == http.MethodPost && action == "attach":
+		if p.draining.Load() {
+			apiError(w, http.StatusConflict, "plane is draining")
+			return
+		}
+		if err := p.pi.AttachUnit(unit); err != nil {
+			if errors.Is(err, pcsmon.ErrDuplicatePlant) {
+				apiError(w, http.StatusConflict, "unit %s already attached", id)
+				return
+			}
+			apiError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"unit": id, "state": "attached"})
+	case r.Method == http.MethodPost && (action == "detach" || action == "drain"):
+		var rep *pcsmon.Report
+		if action == "drain" {
+			rep, err = p.pi.DrainUnit(unit)
+		} else {
+			rep, err = p.pi.DetachUnit(unit)
+		}
+		if err != nil {
+			if errors.Is(err, pcsmon.ErrUnknownPlant) {
+				apiError(w, http.StatusNotFound, "unit %s not attached", id)
+				return
+			}
+			apiError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		doc := map[string]any{"unit": id, "state": action + "ed", "verdict": rep.Verdict.String()}
+		if rep.AttackedVar >= 0 {
+			doc["attacked_var"] = rep.AttackedVar
+		}
+		p.bus.publish(Event{Type: action + "ed", Unit: id}, json.Marshal)
+		writeJSON(w, http.StatusOK, doc)
+	default:
+		apiError(w, http.StatusMethodNotAllowed, "%s %s not supported", r.Method, r.URL.Path)
+	}
+}
+
+// serveUnit renders GET /units/{id}: live health plus the final report
+// when the unit has already been detached or drained.
+func (p *Plane) serveUnit(w http.ResponseWriter, unit uint8, id string) {
+	doc := map[string]any{"unit": id}
+	known := false
+	if h := p.obs.Health.Get(id); h != nil {
+		doc["health"] = h.Status(time.Now())
+		known = true
+	}
+	p.repMu.Lock()
+	rep, ok := p.reports[id]
+	p.repMu.Unlock()
+	if ok {
+		doc["report"] = rep
+		known = true
+	}
+	if !known {
+		apiError(w, http.StatusNotFound, "unit %s never attached", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// handleConfig serves the live (redacted) config document.
+func (p *Plane) handleConfig(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		apiError(w, http.StatusMethodNotAllowed, "%s /config not supported", r.Method)
+		return
+	}
+	writeJSON(w, http.StatusOK, p.config().Redacted())
+}
+
+// handleReload applies the reloadable config subset: from the request
+// body when non-empty, otherwise by re-reading the config file.
+func (p *Plane) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		apiError(w, http.StatusMethodNotAllowed, "%s /reload not supported", r.Method)
+		return
+	}
+	var next *Config
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if len(strings.TrimSpace(string(body))) > 0 {
+		next, err = Parse(strings.NewReader(string(body)))
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if err := p.Reload(next); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrNotReloadable) {
+			code = http.StatusConflict
+		}
+		apiError(w, code, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"state": "reloaded", "reloads": p.reloads.Load()})
+}
+
+// handleDrain begins the graceful drain and returns once it completes —
+// by then every pre-drain frame is scored, the final verdicts are in the
+// report table, and the capture tail is sealed. The process itself exits
+// via whoever waits on Drained() (the serve command).
+func (p *Plane) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		apiError(w, http.StatusMethodNotAllowed, "%s /drain not supported", r.Method)
+		return
+	}
+	if err := p.Drain(); err != nil {
+		apiError(w, http.StatusInternalServerError, "drain: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"state":    "drained",
+		"accepted": p.accepted.Load(),
+		"reports":  len(p.Reports()),
+	})
+}
+
+// handleEvents streams the SSE event feed.
+func (p *Plane) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		apiError(w, http.StatusMethodNotAllowed, "%s /events not supported", r.Method)
+		return
+	}
+	p.bus.serveSSE(w, r, 5*time.Second)
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package control
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-count assertions are skipped
+// under -race (the behavioural parts of those tests still run).
+const raceEnabled = true

@@ -17,6 +17,11 @@ type ChainOptions struct {
 	// record past To (To <= 0 = unbounded). Sealed segments wholly outside
 	// the window are skipped via their index without reading a record.
 	From, To time.Duration
+	// Units restricts the replay to these units' frames (nil = every
+	// unit). Sealed segments whose index shows none of the units inside
+	// the window are skipped without reading a record — the per-unit
+	// (seq, time) ranges of the sidecar answer that without a scan.
+	Units []uint8
 }
 
 func (o ChainOptions) validate() error {
@@ -57,6 +62,9 @@ type ChainReader struct {
 	delivered uint64        // records returned to the caller (in-window)
 	skipped   int           // segments never opened thanks to their index
 	trunc     error         // typed truncated-tail warning, set at EOF
+
+	filtered bool // Units filter active
+	unitSet  [256]bool
 }
 
 // OpenCaptureChain opens a capture chain for replay. base may be either a
@@ -81,6 +89,10 @@ func OpenCaptureChain(base string, opts ChainOptions) (*ChainReader, error) {
 		paths = found
 	}
 	cr := &ChainReader{opts: opts}
+	for _, u := range opts.Units {
+		cr.filtered = true
+		cr.unitSet[u] = true
+	}
 	for _, p := range paths {
 		seg := chainSegment{path: p}
 		data, err := os.ReadFile(indexPath(p))
@@ -145,6 +157,9 @@ func (c *ChainReader) Next() (time.Duration, *Frame, error) {
 			c.cur = len(c.segs)
 			return 0, nil, io.EOF
 		}
+		if c.filtered && !c.unitSet[f.Unit] {
+			continue
+		}
 		c.delivered++
 		return ts, f, nil
 	}
@@ -177,6 +192,16 @@ func (c *ChainReader) openNext() error {
 				c.cur++
 				continue
 			}
+			if c.filtered && !c.indexHasUnit(seg.ix) {
+				// The sidecar proves none of the requested units have a
+				// frame inside the window here — skip unopened.
+				if seg.ix.Frames > 0 {
+					c.last = seg.ix.Last
+				}
+				c.skipped++
+				c.cur++
+				continue
+			}
 		}
 		f, err := os.Open(seg.path)
 		if err != nil {
@@ -191,6 +216,20 @@ func (c *ChainReader) openNext() error {
 		return nil
 	}
 	return io.EOF
+}
+
+// indexHasUnit reports whether any requested unit has frames inside the
+// replay window according to the segment's per-unit time ranges.
+func (c *ChainReader) indexHasUnit(ix *SegmentIndex) bool {
+	for _, u := range ix.Units {
+		if !c.unitSet[u.Unit] {
+			continue
+		}
+		if u.Last >= c.opts.From && (c.opts.To <= 0 || u.First <= c.opts.To) {
+			return true
+		}
+	}
+	return false
 }
 
 // closeSegment closes the open segment and steps to the next.

@@ -420,6 +420,75 @@ func TestChainWindowSeek(t *testing.T) {
 	}
 }
 
+// TestChainUnitSeek: ChainOptions.Units delivers only the requested units'
+// records, and sealed segments whose index shows none of those units in
+// the window are skipped without decoding a record.
+func TestChainUnitSeek(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "unitseek")
+	st, err := OpenCaptureStore(base, StoreOptions{SegmentSpan: 400 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unit-disjoint phases on one timeline, 10ms spacing: unit 0 owns
+	// records 0..99, unit 7 records 100..199. Span rotation cuts 5
+	// segments of 40 — 1 and 2 pure unit 0, 3 mixed, 4 and 5 pure unit 7.
+	for i := 0; i < 200; i++ {
+		f := storeFrame(i, 1, 3)
+		if i >= 100 {
+			f.Unit = 7
+		}
+		if err := st.WriteAt(f, time.Duration(i)*10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st.Segments() != 5 {
+		t.Fatalf("segments = %d, want 5", st.Segments())
+	}
+
+	cr, frames, stamps := readChain(t, base, ChainOptions{Units: []uint8{7}})
+	if len(frames) != 100 {
+		t.Fatalf("unit seek replayed %d records, want 100", len(frames))
+	}
+	for _, f := range frames {
+		if f.Unit != 7 {
+			t.Fatalf("unit %d leaked through the filter", f.Unit)
+		}
+	}
+	if stamps[0] != 1000*time.Millisecond {
+		t.Errorf("first unit-7 record at %v, want 1s", stamps[0])
+	}
+	// Segments 1 and 2 are skipped via their per-unit index ranges; the
+	// mixed segment 3 is scanned, 4 and 5 read through: at most 120 of
+	// the chain's 200 records are decoded.
+	if cr.SegmentsSkipped() != 2 {
+		t.Errorf("segments skipped = %d, want 2", cr.SegmentsSkipped())
+	}
+	if cr.RecordsRead() > 120 {
+		t.Errorf("unit seek decoded %d records of 200 — the index was not used", cr.RecordsRead())
+	}
+	if cr.Delivered() != 100 {
+		t.Errorf("delivered = %d, want 100", cr.Delivered())
+	}
+
+	// Units composes with the window: unit 0's last record sits at 990ms,
+	// so a window from 1s on leaves nothing — every segment is skipped
+	// (1, 2 by the window, 3 by unit range, 4, 5 by unit) and no record
+	// is ever decoded.
+	cr2, frames2, _ := readChain(t, base, ChainOptions{Units: []uint8{0}, From: 1000 * time.Millisecond})
+	if len(frames2) != 0 {
+		t.Errorf("out-of-window unit replayed %d records, want 0", len(frames2))
+	}
+	if cr2.RecordsRead() != 0 {
+		t.Errorf("out-of-window unit decoded %d records, want 0", cr2.RecordsRead())
+	}
+	if cr2.SegmentsSkipped() != 5 {
+		t.Errorf("out-of-window unit skipped %d segments, want 5", cr2.SegmentsSkipped())
+	}
+}
+
 // TestChainSingleFile: OpenCaptureChain accepts a plain single capture
 // file — the pre-store format — including its truncated-tail tolerance.
 func TestChainSingleFile(t *testing.T) {

@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -680,6 +681,21 @@ func (p *Pool) Stats() Stats {
 		st.ModelGeneration = p.tracker.Generation()
 	}
 	return st
+}
+
+// Plants lists the ids of the currently attached streams, sorted — the
+// drain hook a control plane uses to detach everything deterministically.
+func (p *Pool) Plants() []string {
+	var ids []string
+	for _, w := range p.workers {
+		w.mu.Lock()
+		for id := range w.streams {
+			ids = append(ids, id)
+		}
+		w.mu.Unlock()
+	}
+	sort.Strings(ids)
+	return ids
 }
 
 // AdaptStats snapshots the shared tracker's drift-guard counters (zero

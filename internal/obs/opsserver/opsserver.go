@@ -15,11 +15,13 @@
 package opsserver
 
 import (
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"sync/atomic"
 	"time"
 
 	"pcsmon/internal/obs"
@@ -41,17 +43,28 @@ type Options struct {
 	// idle duration, so an orchestrator can restart a wedged monitor.
 	LastActivity func() time.Time
 	// StallAfter is the idle horizon of the stall probe (0 with a
-	// LastActivity hook = 1 minute).
+	// LastActivity hook = 1 minute, negative disables the probe). It can
+	// be changed on a live server with SetStallAfter.
 	StallAfter time.Duration
+	// Extra mounts additional routes on the ops mux — the control plane's
+	// mutating API. Patterns follow http.ServeMux rules; the reserved ops
+	// routes (/metrics, /healthz, /status, /debug/pprof/) cannot be
+	// overridden.
+	Extra map[string]http.Handler
+	// AuthToken, when non-empty, requires "Authorization: Bearer <token>"
+	// on every mutating (non-GET/HEAD) request across the whole mux. The
+	// read-only ops endpoints stay scrapable without credentials.
+	AuthToken string
 }
 
 // Server is a running ops endpoint. Create with Start; Close stops the
 // listener and the serving goroutine.
 type Server struct {
-	ln      net.Listener
-	srv     *http.Server
-	started time.Time
-	opts    Options
+	ln         net.Listener
+	srv        *http.Server
+	started    time.Time
+	opts       Options
+	stallAfter atomic.Int64 // nanoseconds; <0 disables the stall probe
 }
 
 // Start listens on addr and serves the ops endpoints until Close.
@@ -67,6 +80,7 @@ func Start(addr string, opts Options) (*Server, error) {
 		return nil, fmt.Errorf("opsserver: listen %s: %w", addr, err)
 	}
 	s := &Server{ln: ln, started: time.Now(), opts: opts}
+	s.stallAfter.Store(int64(opts.StallAfter))
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -76,10 +90,46 @@ func Start(addr string, opts Options) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	for pattern, h := range opts.Extra {
+		mux.Handle(pattern, h)
+	}
+	s.srv = &http.Server{Handler: s.auth(mux), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = s.srv.Serve(ln) }()
 	return s, nil
 }
+
+// auth gates mutating requests behind the bearer token (when configured).
+func (s *Server) auth(next http.Handler) http.Handler {
+	if s.opts.AuthToken == "" {
+		return next
+	}
+	want := "Bearer " + s.opts.AuthToken
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			// subtle.ConstantTimeCompare needs equal lengths; it reports 0
+			// for any length mismatch the len check already rejected.
+			got := r.Header.Get("Authorization")
+			if len(got) != len(want) || subtle.ConstantTimeCompare([]byte(got), []byte(want)) != 1 {
+				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "missing or invalid bearer token"})
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// SetStallAfter atomically replaces the /healthz stall horizon — the
+// control plane's reload hook. Zero restores the 1-minute default when a
+// LastActivity hook exists; negative disables the probe.
+func (s *Server) SetStallAfter(d time.Duration) {
+	if s.opts.LastActivity != nil && d == 0 {
+		d = time.Minute
+	}
+	s.stallAfter.Store(int64(d))
+}
+
+// StallAfter returns the current stall horizon.
+func (s *Server) StallAfter() time.Duration { return time.Duration(s.stallAfter.Load()) }
 
 // Addr returns the bound listen address ("127.0.0.1:43210").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
@@ -105,10 +155,10 @@ type healthzDoc struct {
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	doc := healthzDoc{Status: "ok", UptimeSeconds: time.Since(s.started).Seconds()}
 	code := http.StatusOK
-	if s.opts.LastActivity != nil {
+	if horizon := s.StallAfter(); s.opts.LastActivity != nil && horizon >= 0 {
 		idle := time.Since(s.opts.LastActivity())
 		doc.IdleSeconds = idle.Seconds()
-		if idle > s.opts.StallAfter {
+		if idle > horizon {
 			doc.Status = "stalled"
 			code = http.StatusServiceUnavailable
 		}

@@ -14,9 +14,9 @@ import (
 	"fmt"
 
 	"pcsmon/internal/attack"
-	"pcsmon/internal/control"
 	"pcsmon/internal/fieldbus"
 	"pcsmon/internal/historian"
+	"pcsmon/internal/plantctl"
 	"pcsmon/internal/te"
 )
 
@@ -51,7 +51,7 @@ type IDVEvent struct {
 type Template struct {
 	cfg       Config
 	proc      *te.Process
-	ctrl      *control.TEController
+	ctrl      *plantctl.TEController
 	baseXMEAS []float64
 	baseXMV   []float64
 }
@@ -78,7 +78,7 @@ func NewTemplate(cfg Config) (*Template, error) {
 	if err != nil {
 		return nil, fmt.Errorf("plant: process: %w", err)
 	}
-	ctrl, err := control.NewTEController()
+	ctrl, err := plantctl.NewTEController()
 	if err != nil {
 		return nil, fmt.Errorf("plant: controller: %w", err)
 	}
@@ -169,7 +169,7 @@ type RunConfig struct {
 // attacks.
 type Run struct {
 	proc  *te.Process
-	ctrl  *control.TEController
+	ctrl  *plantctl.TEController
 	link  *fieldbus.Link
 	sens  *attack.Injector
 	act   *attack.Injector

@@ -4,7 +4,7 @@
 // the slow cascades (stripper-level → production trim, feed-composition →
 // A-feed setpoint trim) that give the paper's attack scenarios their
 // closed-loop behaviour.
-package control
+package plantctl
 
 import (
 	"errors"

@@ -1,8 +1,10 @@
 package pcsmon
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pcsmon/internal/fieldbus"
@@ -70,6 +72,10 @@ type PairingOptions struct {
 	// Onset is the observation index at which an anomaly is known to begin
 	// for attached units (0 if unknown), as in Fleet.Attach.
 	Onset int
+	// OnsetFor, if non-nil, overrides Onset per unit at attach time — the
+	// control plane's per-unit config hook. Returning a negative value
+	// falls back to Onset.
+	OnsetFor func(unit uint8) int
 	// OnAttach, if non-nil, observes every unit's first-sight attachment.
 	OnAttach func(plant string)
 	// Clock overrides the arrival-timestamp source the Timeout horizon is
@@ -110,13 +116,29 @@ type PairingIngest struct {
 	dedupMu sync.Mutex // guards dedup (Offer methods are concurrent)
 	dedup   *fieldbus.FrameDedup
 
-	stateMu  sync.Mutex // guards attached/plants against Plants() readers
+	stateMu  sync.Mutex // guards attached/listed/plants; held across pool attach/detach to serialize API calls with first-sight attachment
 	attached [256]bool
+	listed   [256]bool // dedups plants across detach/re-attach cycles
 	plants   []string
+
+	// quiesced marks units whose frames are dropped at the door (and on
+	// residual correlator outcomes) — the per-unit drain state. Lock-free
+	// so the hot ingest path never takes stateMu.
+	quiesced      [256]atomic.Bool
+	quiescedDrops atomic.Uint64
 }
 
+// plantIDs holds the 256 possible plant ids; PlantID is called once per
+// paired observation on the scoring hot path, so it must not format.
+var plantIDs = func() (ids [256]string) {
+	for i := range ids {
+		ids[i] = fmt.Sprintf("unit-%03d", i)
+	}
+	return
+}()
+
 // PlantID returns the fleet plant id of a fieldbus unit ("unit-007").
-func PlantID(unit uint8) string { return fmt.Sprintf("unit-%03d", unit) }
+func PlantID(unit uint8) string { return plantIDs[unit] }
 
 // NewPairingIngest builds the pairing front over the fleet. emit — if
 // non-nil — receives the typed PairDropped/ViewStalled pairing events
@@ -167,6 +189,12 @@ func (pi *PairingIngest) unitHealth(unit uint8) *UnitHealth {
 // outcomes attach-on-first-sight and push, loss outcomes surface as typed
 // events. It runs under the correlator's lock, so per-unit order holds.
 func (pi *PairingIngest) route(ev pairing.Event) error {
+	if pi.quiesced[ev.Unit].Load() {
+		// Residual outcome of a drained unit (the frame was already inside
+		// the correlator when the drain landed): drop, don't resurrect.
+		pi.quiescedDrops.Add(1)
+		return nil
+	}
 	switch ev.Outcome {
 	case pairing.Paired, pairing.OrphanSensor, pairing.OrphanActuator:
 		id, err := pi.plant(ev.Unit)
@@ -181,7 +209,23 @@ func (pi *PairingIngest) route(ev pairing.Event) error {
 				Unit: ev.Unit, Seq: ev.Seq, Kind: ev.Outcome.String(), Held: true,
 			}})
 		}
-		return pi.fl.pool.Push(id, ev.Ctrl, ev.Proc)
+		if err := pi.fl.pool.Push(id, ev.Ctrl, ev.Proc); err != nil {
+			if !errors.Is(err, ErrUnknownPlant) {
+				return err
+			}
+			// A concurrent DetachUnit removed the stream between the attach
+			// check and the push. Re-attach fresh and retry once — the
+			// control-plane contract is that detach+re-attach mid-stream
+			// never poisons the ingest.
+			pi.stateMu.Lock()
+			pi.attached[ev.Unit] = false
+			pi.stateMu.Unlock()
+			if id, err = pi.plant(ev.Unit); err != nil {
+				return err
+			}
+			return pi.fl.pool.Push(id, ev.Ctrl, ev.Proc)
+		}
+		return nil
 	case pairing.GapDetected, pairing.Duplicate, pairing.Stale, pairing.Outlier, pairing.EpochReset:
 		if hp := pi.unitHealth(ev.Unit); hp != nil {
 			n := ev.Span
@@ -201,27 +245,97 @@ func (pi *PairingIngest) route(ev pairing.Event) error {
 	return nil
 }
 
-// plant returns the unit's plant id, attaching it on first sight.
+// plant returns the unit's plant id, attaching it on first sight. The
+// pool attach runs under stateMu so first-sight attachment, AttachUnit
+// and DetachUnit serialize instead of racing on the pool registry.
 func (pi *PairingIngest) plant(unit uint8) (string, error) {
 	id := PlantID(unit)
 	pi.stateMu.Lock()
-	seen := pi.attached[unit]
-	pi.stateMu.Unlock()
-	if seen {
+	if pi.attached[unit] {
+		pi.stateMu.Unlock()
 		return id, nil
 	}
-	if err := pi.fl.pool.Attach(id, pi.opts.Onset); err != nil {
+	if err := pi.fl.pool.Attach(id, pi.onset(unit)); err != nil {
+		pi.stateMu.Unlock()
 		return "", err
 	}
-	pi.stateMu.Lock()
 	pi.attached[unit] = true
-	pi.plants = append(pi.plants, id)
+	if !pi.listed[unit] {
+		pi.listed[unit] = true
+		pi.plants = append(pi.plants, id)
+	}
 	pi.stateMu.Unlock()
 	if pi.opts.OnAttach != nil {
 		pi.opts.OnAttach(id)
 	}
 	return id, nil
 }
+
+// onset resolves the attach-time onset index of a unit.
+func (pi *PairingIngest) onset(unit uint8) int {
+	if pi.opts.OnsetFor != nil {
+		if o := pi.opts.OnsetFor(unit); o >= 0 {
+			return o
+		}
+	}
+	return pi.opts.Onset
+}
+
+// AttachUnit attaches a unit's plant stream ahead of its first frame and
+// clears any drain mark — the control plane's POST /units/{id}/attach.
+// Attaching an already-live unit returns ErrDuplicatePlant.
+func (pi *PairingIngest) AttachUnit(unit uint8) error {
+	pi.quiesced[unit].Store(false)
+	id := PlantID(unit)
+	pi.stateMu.Lock()
+	defer pi.stateMu.Unlock()
+	if pi.attached[unit] {
+		return fmt.Errorf("pcsmon: unit %d (%s): %w", unit, id, ErrDuplicatePlant)
+	}
+	if err := pi.fl.pool.Attach(id, pi.onset(unit)); err != nil {
+		return fmt.Errorf("pcsmon: %w", err)
+	}
+	pi.attached[unit] = true
+	if !pi.listed[unit] {
+		pi.listed[unit] = true
+		pi.plants = append(pi.plants, id)
+	}
+	if pi.opts.OnAttach != nil {
+		pi.opts.OnAttach(id)
+	}
+	return nil
+}
+
+// DetachUnit finalizes a unit's stream and returns its classified report
+// — the control plane's POST /units/{id}/detach. The unit re-attaches
+// fresh (new stream state) on its next frame; detaching an unknown unit
+// returns ErrUnknownPlant.
+func (pi *PairingIngest) DetachUnit(unit uint8) (*Report, error) {
+	id := PlantID(unit)
+	pi.stateMu.Lock()
+	defer pi.stateMu.Unlock()
+	if !pi.attached[unit] {
+		return nil, fmt.Errorf("pcsmon: unit %d (%s): %w", unit, id, ErrUnknownPlant)
+	}
+	pi.attached[unit] = false
+	rep, err := pi.fl.pool.Detach(id)
+	if err != nil {
+		return nil, fmt.Errorf("pcsmon: %w", err)
+	}
+	return rep, nil
+}
+
+// DrainUnit quiesces a unit — frames arriving after the call are dropped
+// at the door (counted by QuiescedDrops) — then finalizes its stream and
+// returns the report: the control plane's POST /units/{id}/drain.
+// AttachUnit lifts the quiesce mark.
+func (pi *PairingIngest) DrainUnit(unit uint8) (*Report, error) {
+	pi.quiesced[unit].Store(true)
+	return pi.DetachUnit(unit)
+}
+
+// QuiescedDrops counts frames dropped because their unit was drained.
+func (pi *PairingIngest) QuiescedDrops() uint64 { return pi.quiescedDrops.Load() }
 
 func (pi *PairingIngest) send(ev FleetEvent) {
 	if pi.emit != nil {
@@ -232,12 +346,20 @@ func (pi *PairingIngest) send(ev FleetEvent) {
 // OfferSensor ingests one sensor frame: the controller-view row of (unit,
 // seq). The row is copied before return.
 func (pi *PairingIngest) OfferSensor(unit uint8, seq uint64, row []float64) error {
+	if pi.quiesced[unit].Load() {
+		pi.quiescedDrops.Add(1)
+		return nil
+	}
 	return pi.wrap(pi.cor.Offer(fieldbus.FrameSensor, unit, seq, row))
 }
 
 // OfferActuator ingests one actuator frame: the process-view row of
 // (unit, seq).
 func (pi *PairingIngest) OfferActuator(unit uint8, seq uint64, row []float64) error {
+	if pi.quiesced[unit].Load() {
+		pi.quiescedDrops.Add(1)
+		return nil
+	}
 	return pi.wrap(pi.cor.Offer(fieldbus.FrameActuator, unit, seq, row))
 }
 
@@ -253,6 +375,10 @@ func (pi *PairingIngest) OfferFrame(f *fieldbus.Frame) (bool, error) {
 	}
 	switch f.Type {
 	case fieldbus.FrameSensor, fieldbus.FrameActuator:
+		if pi.quiesced[f.Unit].Load() {
+			pi.quiescedDrops.Add(1)
+			return false, nil
+		}
 		if pi.redundant(f) {
 			return false, nil
 		}
@@ -292,6 +418,10 @@ func (pi *PairingIngest) OfferBytes(data []byte) error {
 	defer pi.scratchMu.Unlock()
 	if err := pi.frame.UnmarshalInto(data); err != nil {
 		return fmt.Errorf("pcsmon: %w", err)
+	}
+	if pi.quiesced[pi.frame.Unit].Load() {
+		pi.quiescedDrops.Add(1)
+		return nil
 	}
 	if pi.redundant(&pi.frame) {
 		return nil
