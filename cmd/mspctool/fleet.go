@@ -834,8 +834,9 @@ func registerTransportObs(reg *pcsmon.MetricsRegistry, tcpSrv *fieldbus.Server,
 		g := g
 		if err := reg.GaugeFunc(g.name, g.help, func() float64 {
 			recMu.Lock()
-			defer recMu.Unlock()
-			return g.fn(sr.st.Stats())
+			st := sr.st.Stats()
+			recMu.Unlock()
+			return g.fn(st)
 		}); err != nil {
 			return err
 		}
@@ -855,8 +856,9 @@ func registerTransportObs(reg *pcsmon.MetricsRegistry, tcpSrv *fieldbus.Server,
 		c := c
 		if err := reg.CounterFunc(c.name, c.help, func() float64 {
 			recMu.Lock()
-			defer recMu.Unlock()
-			return c.fn(sr.st.Stats())
+			st := sr.st.Stats()
+			recMu.Unlock()
+			return c.fn(st)
 		}); err != nil {
 			return err
 		}

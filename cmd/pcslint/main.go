@@ -1,0 +1,175 @@
+// Command pcslint runs the project's static-analyzer suite (see
+// internal/analysis) over the module and reports invariant violations as
+// "file:line: analyzer: message" lines, or as a JSON array with -json.
+//
+// Usage:
+//
+//	pcslint [-json] [-list] [packages]
+//
+// Package patterns are directory-based, relative to the working directory:
+// "./..." (the default) selects everything below it, "./internal/fleet"
+// exactly one package. Analyzers always see the whole module — cross-package
+// invariants (the hotpath call graph) need it — and the patterns select
+// which packages' findings are reported.
+//
+// Exit status is 0 when the selection is clean, 1 when findings were
+// reported and 2 when the module could not be loaded.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"pcsmon/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("pcslint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array instead of text lines")
+	list := fs.Bool("list", false, "print the analyzer catalog and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: pcslint [-json] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Fprintf(stdout, "%-20s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "pcslint: %v\n", err)
+		return 2
+	}
+	root, err := moduleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(stderr, "pcslint: %v\n", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	keep, err := selection(cwd, patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "pcslint: %v\n", err)
+		return 2
+	}
+
+	m, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "pcslint: %v\n", err)
+		return 2
+	}
+	findings := analysis.Run(m, analysis.All(), keep)
+
+	if *jsonOut {
+		type jsonFinding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Column   int    `json:"column"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File: f.Pos.Filename, Line: f.Pos.Line, Column: f.Pos.Column,
+				Analyzer: f.Analyzer, Message: f.Message,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "pcslint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			file := f.Pos.Filename
+			if rel, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(rel, "..") {
+				file = rel
+			}
+			fmt.Fprintf(stdout, "%s:%d: %s: %s\n", file, f.Pos.Line, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found in or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// selection compiles directory patterns into a finding filter. A trailing
+// "/..." selects a subtree; anything else selects exactly one directory.
+func selection(cwd string, patterns []string) (func(token.Position) bool, error) {
+	type rule struct {
+		dir     string
+		subtree bool
+	}
+	rules := make([]rule, 0, len(patterns))
+	for _, p := range patterns {
+		r := rule{}
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			r.subtree = true
+			p = rest
+			if p == "" || p == "." {
+				p = "."
+			}
+		} else if p == "..." {
+			r.subtree = true
+			p = "."
+		}
+		if p == "" {
+			return nil, fmt.Errorf("empty package pattern")
+		}
+		abs := p
+		if !filepath.IsAbs(p) {
+			abs = filepath.Join(cwd, p)
+		}
+		r.dir = filepath.Clean(abs)
+		rules = append(rules, r)
+	}
+	return func(pos token.Position) bool {
+		dir := filepath.Dir(pos.Filename)
+		for _, r := range rules {
+			if dir == r.dir {
+				return true
+			}
+			if r.subtree && strings.HasPrefix(dir, r.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}

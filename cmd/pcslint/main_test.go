@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture returns the path of one of the analysis package's testdata
+// mini-modules, which double as end-to-end inputs for the driver.
+func fixture(t *testing.T, name string) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "..", "internal", "analysis", "testdata", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestRunFindings drives the binary entry point against the clock fixture:
+// exit code 1, text findings in file:line: analyzer: message form.
+func TestRunFindings(t *testing.T) {
+	t.Chdir(fixture(t, "clock"))
+	var out, errb strings.Builder
+	code := run([]string{"./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d findings, want 2:\n%s", len(lines), out.String())
+	}
+	if want := "clock.go:19: clock-discipline: "; !strings.HasPrefix(lines[0], want) {
+		t.Errorf("first finding %q does not start with %q", lines[0], want)
+	}
+}
+
+// TestRunJSON checks the -json mode round-trips positions and analyzers.
+func TestRunJSON(t *testing.T) {
+	t.Chdir(fixture(t, "clock"))
+	var out, errb strings.Builder
+	code := run([]string{"-json", "./..."}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+	var findings []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out.String())
+	}
+	if len(findings) != 2 {
+		t.Fatalf("got %d findings, want 2", len(findings))
+	}
+	if findings[0].Line != 19 || findings[0].Analyzer != "clock-discipline" {
+		t.Errorf("unexpected first finding: %+v", findings[0])
+	}
+}
+
+// TestRunSelection: selecting a subtree with no findings exits 0 even
+// though the module as a whole has them.
+func TestRunSelection(t *testing.T) {
+	t.Chdir(fixture(t, "errwrap"))
+	var out, errb strings.Builder
+	if code := run([]string{"./..."}, &out, &errb); code != 1 {
+		t.Fatalf("whole module: exit = %d, want 1", code)
+	}
+	out.Reset()
+	if code := run([]string{"./cmd/..."}, &out, &errb); code != 1 {
+		t.Fatalf("cmd subtree: exit = %d, want 1", code)
+	}
+	for _, l := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		if !strings.HasPrefix(l, "cmd"+string(filepath.Separator)) {
+			t.Errorf("selection leaked finding outside cmd/: %q", l)
+		}
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"hotpath", "callback-under-lock", "clock-discipline", "errbadconfig", "metric-names"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q", name)
+		}
+	}
+}
+
+func TestSelection(t *testing.T) {
+	keep, err := selection("/repo", []string{"./internal/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		file string
+		want bool
+	}{
+		{"/repo/internal/a/a.go", true},
+		{"/repo/internal/a/b/c.go", true},
+		{"/repo/cmd/x/main.go", false},
+		{"/repo/internalx/a.go", false},
+	}
+	for _, c := range cases {
+		if got := keep(token.Position{Filename: c.file}); got != c.want {
+			t.Errorf("keep(%s) = %v, want %v", c.file, got, c.want)
+		}
+	}
+	exact, err := selection("/repo", []string{"./internal/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exact(token.Position{Filename: "/repo/internal/a/a.go"}) {
+		t.Error("exact pattern missed its own directory")
+	}
+	if exact(token.Position{Filename: "/repo/internal/a/b/c.go"}) {
+		t.Error("exact pattern matched a subdirectory")
+	}
+}

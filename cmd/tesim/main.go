@@ -18,6 +18,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -116,6 +117,10 @@ func writeCSV(path string, run *plant.Run, controller bool) error {
 	return f.Close()
 }
 
+// errBadFlag is the typed sentinel every flag-parse failure wraps, so
+// callers (and tests) can errors.Is instead of string-matching.
+var errBadFlag = errors.New("tesim: invalid flag value")
+
 // parseIDVs parses "6@10,4@12-20".
 func parseIDVs(s string) ([]plant.IDVEvent, error) {
 	if s == "" {
@@ -125,22 +130,22 @@ func parseIDVs(s string) ([]plant.IDVEvent, error) {
 	for _, part := range strings.Split(s, ",") {
 		num, window, ok := strings.Cut(strings.TrimSpace(part), "@")
 		if !ok {
-			return nil, fmt.Errorf("idv %q: want NUMBER@START[-END]", part)
+			return nil, fmt.Errorf("idv %q: want NUMBER@START[-END]: %w", part, errBadFlag)
 		}
 		idv, err := strconv.Atoi(num)
 		if err != nil || idv < 1 || idv > 20 {
-			return nil, fmt.Errorf("idv %q: bad disturbance number", part)
+			return nil, fmt.Errorf("idv %q: bad disturbance number: %w", part, errBadFlag)
 		}
 		startS, endS, hasEnd := strings.Cut(window, "-")
 		start, err := strconv.ParseFloat(startS, 64)
 		if err != nil {
-			return nil, fmt.Errorf("idv %q: bad start hour", part)
+			return nil, fmt.Errorf("idv %q: bad start hour: %w", part, errBadFlag)
 		}
 		ev := plant.IDVEvent{Index: idv - 1, StartHour: start}
 		if hasEnd {
 			end, err := strconv.ParseFloat(endS, 64)
 			if err != nil {
-				return nil, fmt.Errorf("idv %q: bad end hour", part)
+				return nil, fmt.Errorf("idv %q: bad end hour: %w", part, errBadFlag)
 			}
 			ev.EndHour = end
 		}
@@ -158,7 +163,7 @@ func parseAttacks(s string) ([]attack.Spec, error) {
 	for _, part := range strings.Split(s, ",") {
 		fields := strings.Split(strings.TrimSpace(part), ":")
 		if len(fields) < 4 {
-			return nil, fmt.Errorf("attack %q: want kind:link:channel:start[:value]", part)
+			return nil, fmt.Errorf("attack %q: want kind:link:channel:start[:value]: %w", part, errBadFlag)
 		}
 		var spec attack.Spec
 		switch fields[0] {
@@ -171,7 +176,7 @@ func parseAttacks(s string) ([]attack.Spec, error) {
 		case "scale":
 			spec.Kind = attack.Scale
 		default:
-			return nil, fmt.Errorf("attack %q: unknown kind %q", part, fields[0])
+			return nil, fmt.Errorf("attack %q: unknown kind %q: %w", part, fields[0], errBadFlag)
 		}
 		switch fields[1] {
 		case "xmv":
@@ -179,22 +184,22 @@ func parseAttacks(s string) ([]attack.Spec, error) {
 		case "xmeas":
 			spec.Direction = attack.SensorLink
 		default:
-			return nil, fmt.Errorf("attack %q: unknown link %q (want xmv or xmeas)", part, fields[1])
+			return nil, fmt.Errorf("attack %q: unknown link %q (want xmv or xmeas): %w", part, fields[1], errBadFlag)
 		}
 		ch, err := strconv.Atoi(fields[2])
 		if err != nil || ch < 1 {
-			return nil, fmt.Errorf("attack %q: bad channel", part)
+			return nil, fmt.Errorf("attack %q: bad channel: %w", part, errBadFlag)
 		}
 		spec.Channel = ch - 1
 		start, err := strconv.ParseFloat(fields[3], 64)
 		if err != nil {
-			return nil, fmt.Errorf("attack %q: bad start hour", part)
+			return nil, fmt.Errorf("attack %q: bad start hour: %w", part, errBadFlag)
 		}
 		spec.StartHour = start
 		if len(fields) > 4 {
 			v, err := strconv.ParseFloat(fields[4], 64)
 			if err != nil {
-				return nil, fmt.Errorf("attack %q: bad value", part)
+				return nil, fmt.Errorf("attack %q: bad value: %w", part, errBadFlag)
 			}
 			spec.Value = v
 		}

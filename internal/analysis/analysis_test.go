@@ -1,0 +1,173 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFixtures runs the full analyzer suite over each testdata mini-module
+// and requires the diagnostics to match the fixture's want.txt exactly —
+// same findings, same order, same messages.
+func TestFixtures(t *testing.T) {
+	dirs, err := filepath.Glob(filepath.Join("testdata", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no fixtures under testdata/")
+	}
+	for _, dir := range dirs {
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			m, err := LoadModule(dir)
+			if err != nil {
+				t.Fatalf("LoadModule(%s): %v", dir, err)
+			}
+			got := renderFindings(t, m.Dir, Run(m, All(), nil))
+			wantFile := filepath.Join(dir, "want.txt")
+			wantBytes, err := os.ReadFile(wantFile)
+			if err != nil {
+				t.Fatalf("reading golden: %v", err)
+			}
+			want := strings.TrimRight(string(wantBytes), "\n")
+			if got != want {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s\n--- want ---\n%s", dir, got, want)
+			}
+		})
+	}
+}
+
+// renderFindings formats findings exactly like cmd/pcslint's text mode,
+// with paths relative to the fixture root.
+func renderFindings(t *testing.T, root string, findings []Finding) string {
+	t.Helper()
+	var b strings.Builder
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&b, "%s:%d: %s: %s\n", filepath.ToSlash(rel), f.Pos.Line, f.Analyzer, f.Message)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// TestModuleClean is the self-check: pcslint over this repository itself
+// must come back with zero findings — every true violation fixed, every
+// deliberate exception suppressed with a reason, no suppression dead.
+func TestModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short")
+	}
+	m, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	findings := Run(m, All(), nil)
+	for _, f := range findings {
+		t.Errorf("%s:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("module is not pcslint-clean: %d findings", len(findings))
+	}
+}
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		text        string
+		isDirective bool
+		wantErr     bool
+		verb        string
+		analyzers   []string
+		reason      string
+	}{
+		{"// ordinary comment", false, false, "", nil, ""},
+		{"//go:build linux", false, false, "", nil, ""},
+		{"//pcslint:hotpath", true, false, "hotpath", nil, ""},
+		{"//pcslint:hotpath -- scoring inner loop", true, false, "hotpath", nil, "scoring inner loop"},
+		{"//pcslint:hotpath extra", true, true, "hotpath", nil, ""},
+		{"//pcslint:ignore hotpath -- pool warm-miss", true, false, "ignore", []string{"hotpath"}, "pool warm-miss"},
+		{"//pcslint:ignore hotpath,clock-discipline -- both", true, false, "ignore", []string{"hotpath", "clock-discipline"}, "both"},
+		{"//pcslint:ignore hotpath", true, true, "ignore", nil, ""},
+		{"//pcslint:ignore hotpath --", true, true, "ignore", nil, ""},
+		{"//pcslint:ignore", true, true, "ignore", nil, ""},
+		{"//pcslint:ignore a b -- two args", true, true, "ignore", nil, ""},
+		{"//pcslint:ignore a,,b -- empty element", true, true, "ignore", nil, ""},
+		{"//pcslint:", true, true, "", nil, ""},
+		{"//pcslint:frobnicate -- unknown", true, true, "frobnicate", nil, ""},
+	}
+	for _, c := range cases {
+		d, isDirective, err := ParseDirective(c.text)
+		if isDirective != c.isDirective {
+			t.Errorf("%q: isDirective = %v, want %v", c.text, isDirective, c.isDirective)
+			continue
+		}
+		if (err != nil) != c.wantErr {
+			t.Errorf("%q: err = %v, wantErr %v", c.text, err, c.wantErr)
+			continue
+		}
+		if !c.isDirective || c.wantErr {
+			continue
+		}
+		if d.Verb != c.verb {
+			t.Errorf("%q: verb = %q, want %q", c.text, d.Verb, c.verb)
+		}
+		if strings.Join(d.Analyzers, ",") != strings.Join(c.analyzers, ",") {
+			t.Errorf("%q: analyzers = %v, want %v", c.text, d.Analyzers, c.analyzers)
+		}
+		if d.Reason != c.reason {
+			t.Errorf("%q: reason = %q, want %q", c.text, d.Reason, c.reason)
+		}
+	}
+}
+
+// FuzzParseDirective asserts the directive parser is total: no comment
+// bytes may panic it, non-directives never error, and accepted ignores
+// always carry analyzers and a reason.
+func FuzzParseDirective(f *testing.F) {
+	f.Add("//pcslint:hotpath")
+	f.Add("//pcslint:hotpath -- reason")
+	f.Add("//pcslint:ignore hotpath -- reason")
+	f.Add("//pcslint:ignore a,b -- multi")
+	f.Add("//pcslint:ignore")
+	f.Add("//pcslint:")
+	f.Add("// not a directive")
+	f.Add("//pcslint:ignore \x00 -- weird")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, isDirective, err := ParseDirective(text)
+		if !isDirective {
+			if err != nil {
+				t.Fatalf("non-directive %q returned error %v", text, err)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, DirectivePrefix) {
+			t.Fatalf("%q claimed to be a directive without the prefix", text)
+		}
+		if err != nil {
+			return
+		}
+		switch d.Verb {
+		case "hotpath":
+			if len(d.Analyzers) != 0 {
+				t.Fatalf("hotpath directive %q carries analyzers %v", text, d.Analyzers)
+			}
+		case "ignore":
+			if len(d.Analyzers) == 0 {
+				t.Fatalf("accepted ignore %q has no analyzers", text)
+			}
+			for _, a := range d.Analyzers {
+				if a == "" {
+					t.Fatalf("accepted ignore %q has an empty analyzer name", text)
+				}
+			}
+			if d.Reason == "" {
+				t.Fatalf("accepted ignore %q has no reason", text)
+			}
+		default:
+			t.Fatalf("accepted directive %q with unknown verb %q", text, d.Verb)
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ClockAnalyzer enforces clock discipline: a package that declares an
+// injected clock — a field, variable or parameter of type func() time.Time
+// named Clock/clock — has decided its timeline is driven by the caller
+// (capture replay at any speed, deterministic tests), so it must not *call*
+// time.Now or time.Since anywhere. Taking time.Now as a value remains legal:
+// that is exactly the default-injection idiom (`if c.Clock == nil { c.Clock
+// = time.Now }`), and the difference between reading the wall clock and
+// installing it as the default is precisely the invariant.
+type ClockAnalyzer struct{}
+
+func (a *ClockAnalyzer) Name() string { return ClockName }
+
+func (a *ClockAnalyzer) Doc() string {
+	return "packages that declare an injected clock (a Clock func() time.Time) must not call time.Now or time.Since"
+}
+
+func (a *ClockAnalyzer) Run(m *Module, _ *Context) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		clockPos := declaresInjectedClock(pkg)
+		if clockPos == "" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			if IsGenerated(file) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				obj := callee(pkg.Info, call)
+				for _, name := range [...]string{"Now", "Since"} {
+					if isPkgFunc(obj, "time", name) {
+						out = append(out, Finding{
+							Pos:      m.Fset.Position(call.Pos()),
+							Analyzer: ClockName,
+							Message: fmt.Sprintf("time.%s called in a package with an injected clock (%s) — route the reading through the clock",
+								name, clockPos),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// declaresInjectedClock reports where (as "Type.Field" or a declaration
+// kind) the package declares a func() time.Time clock named Clock/clock,
+// or "" when it declares none.
+func declaresInjectedClock(pkg *Package) string {
+	found := ""
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if found != "" {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, f := range n.Fields.List {
+					for _, name := range f.Names {
+						if (name.Name == "Clock" || name.Name == "clock") && isClockFuncType(pkg.Info, f.Type) {
+							found = "field " + name.Name
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for _, name := range n.Names {
+					if (name.Name == "Clock" || name.Name == "clock") && n.Type != nil && isClockFuncType(pkg.Info, n.Type) {
+						found = "var " + name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return found
+}
+
+// isClockFuncType reports whether the expression's type is func() time.Time.
+func isClockFuncType(info *types.Info, texpr ast.Expr) bool {
+	t := info.TypeOf(texpr)
+	if t == nil {
+		return false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	rt := sig.Results().At(0).Type()
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "time" && named.Obj().Name() == "Time"
+}

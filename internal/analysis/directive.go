@@ -1,0 +1,229 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"strings"
+)
+
+// The project's analyzer-control comments:
+//
+//	//pcslint:hotpath [-- reason]
+//	//pcslint:ignore <analyzer>[,<analyzer>...] -- <reason>
+//
+// A hotpath directive in a function's doc comment marks it (and everything
+// it statically calls inside the module) as a zero-allocation contract.
+// An ignore directive suppresses matching findings on its own line, or on
+// the line directly below when the directive stands alone on its line; the
+// hotpath walker additionally treats an ignore on a call line as a prune
+// point and does not descend through that call. Every ignore must carry a
+// reason, and ignores that suppress nothing are themselves findings.
+
+// DirectivePrefix is the comment prefix introducing a pcslint directive.
+const DirectivePrefix = "//pcslint:"
+
+// Directive is one parsed pcslint control comment.
+type Directive struct {
+	Verb      string   // "hotpath" or "ignore"
+	Analyzers []string // ignore only: analyzer names it silences
+	Reason    string   // text after "--"
+}
+
+// ParseDirective parses a single comment's text. The boolean reports
+// whether the comment is a pcslint directive at all; the error reports a
+// malformed one. The parser is total: any input returns cleanly.
+func ParseDirective(text string) (Directive, bool, error) {
+	rest, ok := strings.CutPrefix(text, DirectivePrefix)
+	if !ok {
+		return Directive{}, false, nil
+	}
+	body, reason, hasReason := strings.Cut(rest, "--")
+	body = strings.TrimSpace(body)
+	reason = strings.TrimSpace(reason)
+	fields := strings.Fields(body)
+	if len(fields) == 0 {
+		return Directive{}, true, fmt.Errorf("pcslint directive missing a verb")
+	}
+	d := Directive{Verb: fields[0], Reason: reason}
+	switch d.Verb {
+	case "hotpath":
+		if len(fields) > 1 {
+			return d, true, fmt.Errorf("pcslint:hotpath takes no arguments (got %q)", strings.Join(fields[1:], " "))
+		}
+		return d, true, nil
+	case "ignore":
+		if len(fields) != 2 {
+			return d, true, fmt.Errorf("pcslint:ignore wants one comma-separated analyzer list, got %d arguments", len(fields)-1)
+		}
+		for _, name := range strings.Split(fields[1], ",") {
+			if name == "" {
+				return d, true, fmt.Errorf("pcslint:ignore has an empty analyzer name in %q", fields[1])
+			}
+			d.Analyzers = append(d.Analyzers, name)
+		}
+		if !hasReason || reason == "" {
+			return d, true, fmt.Errorf("pcslint:ignore requires a reason: //pcslint:ignore %s -- <why>", fields[1])
+		}
+		return d, true, nil
+	default:
+		return d, true, fmt.Errorf("unknown pcslint directive %q", d.Verb)
+	}
+}
+
+// suppression is one placed ignore directive with its coverage and use
+// tracking.
+type suppression struct {
+	d     Directive
+	pos   token.Position // directive position
+	first int            // first covered line
+	last  int            // last covered line
+	used  bool
+}
+
+func (s *suppression) covers(analyzer string, line int) bool {
+	if line < s.first || line > s.last {
+		return false
+	}
+	for _, a := range s.d.Analyzers {
+		if a == analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Suppressions indexes every ignore directive of a module by file, applies
+// them to findings and reports the ones that never fired.
+type Suppressions struct {
+	byFile  map[string][]*suppression
+	malform []Finding
+}
+
+// scanSuppressions builds the module's suppression index. Malformed
+// directives and unknown analyzer names become findings rather than load
+// errors so a typo'd directive cannot silently disable anything. Comments
+// are read from every parsed file — including generated ones — and the
+// scanner is total over arbitrary comment bytes (see FuzzParseDirective).
+func scanSuppressions(m *Module, known map[string]bool) *Suppressions {
+	sup := &Suppressions{byFile: make(map[string][]*suppression)}
+	for _, pkg := range m.Packages {
+		for i, file := range pkg.Files {
+			src, err := os.ReadFile(pkg.Filenames[i])
+			if err != nil {
+				src = nil // fall back to trailing-style coverage
+			}
+			lines := strings.Split(string(src), "\n")
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					d, isDirective, perr := ParseDirective(c.Text)
+					if !isDirective {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					if perr != nil {
+						sup.malform = append(sup.malform, Finding{
+							Pos: pos, Analyzer: MetaAnalyzer, Message: perr.Error(),
+						})
+						continue
+					}
+					if d.Verb != "ignore" {
+						continue // hotpath roots are collected from doc comments
+					}
+					bad := false
+					for _, a := range d.Analyzers {
+						if !known[a] {
+							sup.malform = append(sup.malform, Finding{
+								Pos: pos, Analyzer: MetaAnalyzer,
+								Message: fmt.Sprintf("pcslint:ignore names unknown analyzer %q", a),
+							})
+							bad = true
+						}
+					}
+					if bad {
+						continue
+					}
+					s := &suppression{d: d, pos: pos, first: pos.Line, last: pos.Line}
+					if ownLine(lines, pos) {
+						s.last = pos.Line + 1
+					}
+					sup.byFile[pos.Filename] = append(sup.byFile[pos.Filename], s)
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// ownLine reports whether only whitespace precedes the directive on its
+// source line — the "comment above the statement" placement, which extends
+// coverage to the next line.
+func ownLine(lines []string, pos token.Position) bool {
+	if pos.Line-1 < 0 || pos.Line-1 >= len(lines) || pos.Column < 1 {
+		return false
+	}
+	line := lines[pos.Line-1]
+	if pos.Column-1 > len(line) {
+		return false
+	}
+	return strings.TrimSpace(line[:pos.Column-1]) == ""
+}
+
+// Suppressed reports whether a finding by analyzer at pos is covered, and
+// marks the covering directive used.
+func (s *Suppressions) Suppressed(analyzer string, pos token.Position) bool {
+	hit := false
+	for _, sp := range s.byFile[pos.Filename] {
+		if sp.covers(analyzer, pos.Line) {
+			sp.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Unused returns one finding per directive that suppressed nothing, plus
+// every malformed directive — both reported under the meta analyzer, so a
+// clean pcslint run proves there are no dead or broken suppressions.
+func (s *Suppressions) Unused() []Finding {
+	out := append([]Finding(nil), s.malform...)
+	for _, sups := range s.byFile {
+		for _, sp := range sups {
+			if !sp.used {
+				out = append(out, Finding{
+					Pos:      sp.pos,
+					Analyzer: MetaAnalyzer,
+					Message: fmt.Sprintf("unused pcslint:ignore suppression for %s",
+						strings.Join(sp.d.Analyzers, ",")),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// hotpathRoots returns every function whose doc comment carries a
+// //pcslint:hotpath directive. (Malformed directives anywhere, doc comments
+// included, are reported by scanSuppressions, which parses every comment.)
+func hotpathRoots(m *Module) []*FuncSource {
+	var roots []*FuncSource
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					d, isDirective, err := ParseDirective(c.Text)
+					if isDirective && err == nil && d.Verb == "hotpath" {
+						roots = append(roots, &FuncSource{Decl: fd, Pkg: pkg})
+						break
+					}
+				}
+			}
+		}
+	}
+	return roots
+}

@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrapAnalyzer proves the ErrBadConfig contract on validation paths:
+// every error a validation function constructs must wrap a typed sentinel
+// via %w, so callers can errors.Is their way to the cause instead of
+// string-matching. In scope are functions with an error result whose name
+// matches validate*/Validate*, plus — in cmd/* and internal/control, where
+// flag soup and config files are parsed — parse*/Parse* and *Config
+// functions and the Load entry point.
+//
+// The check is syntactic over return statements: returning errors.New, or
+// fmt.Errorf whose format string lacks %w, is a finding. Returning a
+// propagated err, a sentinel, or a helper's result is fine — wrap chains
+// reach the sentinel transitively.
+type ErrWrapAnalyzer struct{}
+
+func (a *ErrWrapAnalyzer) Name() string { return ErrWrapName }
+
+func (a *ErrWrapAnalyzer) Doc() string {
+	return "validation-path functions must wrap a typed sentinel via %w, never return bare errors.New or unwrapped fmt.Errorf"
+}
+
+func (a *ErrWrapAnalyzer) Run(m *Module, _ *Context) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			if IsGenerated(file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if !inValidationScope(m, pkg, fd) {
+					continue
+				}
+				out = append(out, checkValidationFunc(m, pkg, fd)...)
+			}
+		}
+	}
+	return out
+}
+
+// inValidationScope applies the scope rules from the analyzer doc.
+func inValidationScope(m *Module, pkg *Package, fd *ast.FuncDecl) bool {
+	sig, _ := pkg.Info.Defs[fd.Name].Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return false
+	}
+	name := fd.Name.Name
+	if strings.HasPrefix(name, "validate") || strings.HasPrefix(name, "Validate") {
+		return true
+	}
+	configSurface := strings.HasPrefix(pkg.Path, m.Path+"/cmd/") ||
+		pkg.Path == m.Path+"/internal/control"
+	if !configSurface {
+		return false
+	}
+	return strings.HasPrefix(name, "parse") || strings.HasPrefix(name, "Parse") ||
+		strings.HasSuffix(name, "Config") || strings.HasSuffix(name, "config") ||
+		name == "Load"
+}
+
+// checkValidationFunc walks the function's return statements (including
+// those inside closures — validation helpers built with flag.Func etc.).
+func checkValidationFunc(m *Module, pkg *Package, fd *ast.FuncDecl) []Finding {
+	var out []Finding
+	// Track the error position of the innermost function literal when
+	// descending, defaulting to the declaration's signature.
+	var walk func(body ast.Node, sig *types.Signature)
+	walk = func(body ast.Node, sig *types.Signature) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				if s, ok := pkg.Info.TypeOf(n).(*types.Signature); ok {
+					walk(n.Body, s)
+				}
+				return false
+			case *ast.ReturnStmt:
+				if f := checkReturn(m, pkg, sig, n); f != nil {
+					out = append(out, *f)
+				}
+			}
+			return true
+		})
+	}
+	sig, _ := pkg.Info.Defs[fd.Name].Type().(*types.Signature)
+	walk(fd.Body, sig)
+	return out
+}
+
+// checkReturn inspects the error-position expression of one return.
+func checkReturn(m *Module, pkg *Package, sig *types.Signature, ret *ast.ReturnStmt) *Finding {
+	if sig == nil || sig.Results().Len() == 0 || len(ret.Results) != sig.Results().Len() {
+		return nil
+	}
+	if !isErrorType(sig.Results().At(sig.Results().Len() - 1).Type()) {
+		return nil
+	}
+	errExpr := ast.Unparen(ret.Results[len(ret.Results)-1])
+	call, ok := errExpr.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	obj := callee(pkg.Info, call)
+	switch {
+	case isPkgFunc(obj, "errors", "New"):
+		return &Finding{
+			Pos:      m.Fset.Position(call.Pos()),
+			Analyzer: ErrWrapName,
+			Message:  "validation error built with errors.New — wrap a typed sentinel: fmt.Errorf(\"...: %w\", ErrBadConfig)",
+		}
+	case isPkgFunc(obj, "fmt", "Errorf"):
+		if format, ok := constString(pkg.Info, call.Args[0]); ok && !strings.Contains(format, "%w") {
+			return &Finding{
+				Pos:      m.Fset.Position(call.Pos()),
+				Analyzer: ErrWrapName,
+				Message:  "validation error does not wrap a typed sentinel — add %w (e.g. ErrBadConfig) to the fmt.Errorf format",
+			}
+		}
+	}
+	return nil
+}
+
+// constString extracts a compile-time constant string value.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

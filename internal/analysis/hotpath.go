@@ -1,0 +1,609 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// HotpathAnalyzer proves the zero-allocation contract of functions marked
+// //pcslint:hotpath — the compile-time twin of the AllocsPerRun tests. From
+// each annotated root it walks everything the root statically calls inside
+// the module and flags allocation constructs: fmt calls (and a curated
+// denylist of other allocating stdlib functions), non-constant string
+// concatenation, append without the reuse idiom (append to a re-slice),
+// map/slice literals, make/new, closures and bound method values,
+// string<->[]byte conversions, go statements, &composite literals, and
+// interface boxing of non-pointer values at call arguments and channel
+// sends.
+//
+// Cold branches are exempt, mirroring what the runtime alloc asserts
+// measure (they never execute error paths): a branch is cold when it is
+// guarded by an error-non-nil check and terminates, when it terminates by
+// returning a freshly constructed error (fmt.Errorf, errors.New, or an
+// err*/Err* helper), or when it panics. Dynamic calls (interface methods,
+// function values) are not descended into — annotate their targets
+// directly. A //pcslint:ignore hotpath directive on a call line prunes the
+// walk through that call edge.
+type HotpathAnalyzer struct{}
+
+func (a *HotpathAnalyzer) Name() string { return HotpathName }
+
+func (a *HotpathAnalyzer) Doc() string {
+	return "functions marked //pcslint:hotpath (and their static callees in the module) must not allocate outside cold error branches"
+}
+
+// allocSite is one flagged construct inside a function.
+type allocSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// callEdge is one statically resolved call to a module function with a
+// body.
+type callEdge struct {
+	pos token.Pos
+	fn  *types.Func
+}
+
+// funcFacts caches the per-function scan: its own allocation sites and its
+// outgoing hot call edges, both restricted to the hot (non-cold) region.
+type funcFacts struct {
+	sites []allocSite
+	edges []callEdge
+}
+
+func (a *HotpathAnalyzer) Run(m *Module, ctx *Context) []Finding {
+	roots := hotpathRoots(m)
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+	w := &hotWalker{m: m, memo: make(map[*ast.FuncDecl]*funcFacts)}
+	var out []Finding
+	visited := make(map[*ast.FuncDecl]bool)
+	for _, root := range roots {
+		fnObj, _ := root.Pkg.Info.Defs[root.Decl.Name].(*types.Func)
+		if fnObj == nil || root.Decl.Body == nil {
+			continue
+		}
+		rootName := funcDisplayName(fnObj)
+		var dfs func(src *FuncSource, chain []string)
+		dfs = func(src *FuncSource, chain []string) {
+			if visited[src.Decl] {
+				return
+			}
+			visited[src.Decl] = true
+			facts := w.facts(src)
+			where := ""
+			if len(chain) > 0 {
+				where = " via " + strings.Join(chain, " → ")
+			}
+			for _, s := range facts.sites {
+				out = append(out, Finding{
+					Pos:      m.Fset.Position(s.pos),
+					Analyzer: HotpathName,
+					Message:  fmt.Sprintf("%s (hot path root %s%s)", s.desc, rootName, where),
+				})
+			}
+			for _, e := range facts.edges {
+				if ctx.Suppressions.Suppressed(HotpathName, m.Fset.Position(e.pos)) {
+					continue // pruned call edge
+				}
+				callee := m.FuncDecl(e.fn)
+				if callee == nil || callee.Decl.Body == nil {
+					continue
+				}
+				dfs(callee, append(chain, funcDisplayName(e.fn)))
+			}
+		}
+		dfs(root, nil)
+	}
+	return out
+}
+
+// hotWalker performs the cold-branch-aware body scans, memoized per
+// function declaration.
+type hotWalker struct {
+	m    *Module
+	memo map[*ast.FuncDecl]*funcFacts
+}
+
+func (w *hotWalker) facts(src *FuncSource) *funcFacts {
+	if f, ok := w.memo[src.Decl]; ok {
+		return f
+	}
+	f := &funcFacts{}
+	w.memo[src.Decl] = f
+	sig, _ := src.Pkg.Info.Defs[src.Decl.Name].Type().(*types.Signature)
+	s := &hotScan{w: w, pkg: src.Pkg, sig: sig, facts: f}
+	s.block(src.Decl.Body.List)
+	return f
+}
+
+// hotScan walks one function body accumulating facts.
+type hotScan struct {
+	w     *hotWalker
+	pkg   *Package
+	sig   *types.Signature
+	facts *funcFacts
+}
+
+func (s *hotScan) flag(pos token.Pos, desc string) {
+	s.facts.sites = append(s.facts.sites, allocSite{pos: pos, desc: desc})
+}
+
+// block walks a statement list already known to be on the hot region —
+// the callers apply the cold-branch rules before descending.
+func (s *hotScan) block(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		s.stmt(st)
+	}
+}
+
+func (s *hotScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		s.block(st.List)
+	case *ast.IfStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond)
+		if !s.coldIfBody(st) {
+			s.block(st.Body.List)
+		}
+		switch el := st.Else.(type) {
+		case nil:
+		case *ast.IfStmt:
+			s.stmt(el)
+		case *ast.BlockStmt:
+			if !s.coldBlock(el.List) {
+				s.block(el.List)
+			}
+		}
+	case *ast.ForStmt:
+		s.stmt(st.Init)
+		s.expr(st.Cond)
+		s.stmt(st.Post)
+		s.block(st.Body.List)
+	case *ast.RangeStmt:
+		s.expr(st.X)
+		s.block(st.Body.List)
+	case *ast.SwitchStmt:
+		s.stmt(st.Init)
+		s.expr(st.Tag)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				s.expr(e)
+			}
+			if !s.coldBlock(cc.Body) {
+				s.block(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		s.stmt(st.Init)
+		s.stmt(st.Assign)
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			if !s.coldBlock(cc.Body) {
+				s.block(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			s.stmt(cc.Comm)
+			s.block(cc.Body)
+		}
+	case *ast.GoStmt:
+		s.flag(st.Pos(), "go statement allocates")
+	case *ast.DeferStmt:
+		// defer itself is open-coded in the hot shapes we accept; the
+		// deferred call still runs on this path, so scan it like a call.
+		s.call(st.Call)
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e)
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e)
+		}
+	case *ast.ExprStmt:
+		s.expr(st.X)
+	case *ast.SendStmt:
+		s.expr(st.Chan)
+		s.expr(st.Value)
+		s.checkSendBoxing(st)
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	}
+}
+
+// coldIfBody applies the cold-branch rules to an if body.
+func (s *hotScan) coldIfBody(st *ast.IfStmt) bool {
+	if s.coldBlock(st.Body.List) {
+		return true
+	}
+	// Error-guard form: `if err != nil { ...; return }` — the branch only
+	// runs when something already failed.
+	if condChecksErrNonNil(s.pkg.Info, st.Cond) && terminates(st.Body.List) {
+		return true
+	}
+	return false
+}
+
+// coldBlock reports whether a statement list ends by returning a freshly
+// constructed error or panicking — the compile-time mirror of "the alloc
+// asserts never execute failure paths".
+func (s *hotScan) coldBlock(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return s.returnsFreshError(last)
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// returnsFreshError reports whether ret's expression at the enclosing
+// function's error result position is a direct error construction.
+func (s *hotScan) returnsFreshError(ret *ast.ReturnStmt) bool {
+	if s.sig == nil || s.sig.Results().Len() == 0 {
+		return false
+	}
+	last := s.sig.Results().At(s.sig.Results().Len() - 1)
+	if !isErrorType(last.Type()) {
+		return false
+	}
+	if len(ret.Results) != s.sig.Results().Len() {
+		return false // `return f()` forwarding — not provably an error path
+	}
+	errExpr := ast.Unparen(ret.Results[len(ret.Results)-1])
+	call, ok := errExpr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := callee(s.pkg.Info, call)
+	if obj == nil {
+		return false
+	}
+	if isPkgFunc(obj, "fmt", "Errorf") || isPkgFunc(obj, "errors", "New") {
+		return true
+	}
+	// Error-constructor helpers by project convention: errFoo / ErrFoo.
+	if fn, ok := obj.(*types.Func); ok {
+		name := fn.Name()
+		if strings.HasPrefix(name, "err") || strings.HasPrefix(name, "Err") {
+			return true
+		}
+	}
+	return false
+}
+
+// condChecksErrNonNil reports whether the condition contains `x != nil`
+// with x of type error (possibly conjoined/disjoined with more).
+func condChecksErrNonNil(info *types.Info, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.NEQ {
+			return true
+		}
+		x, y := be.X, be.Y
+		if isNilIdent(y) && isErrorType(info.TypeOf(x)) {
+			found = true
+		}
+		if isNilIdent(x) && isErrorType(info.TypeOf(y)) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// terminates reports whether a statement list cannot fall through.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// allocatingStdlib is the curated denylist of standard-library functions
+// that allocate on every call. Module-local functions are walked
+// structurally instead; stdlib calls not listed here (atomics, math,
+// sync primitives, pooled Get/Put, time readings) are trusted.
+var allocatingStdlib = map[string]bool{
+	"errors.New": true, "errors.Join": true,
+	"strings.Join": true, "strings.Repeat": true, "strings.Replace": true,
+	"strings.ReplaceAll": true, "strings.Split": true, "strings.SplitN": true,
+	"strings.Fields": true, "strings.ToUpper": true, "strings.ToLower": true,
+	"strings.Map": true, "strings.Builder.String": true,
+	"strconv.Itoa": true, "strconv.FormatInt": true, "strconv.FormatUint": true,
+	"strconv.FormatFloat": true, "strconv.Quote": true, "strconv.Unquote": true,
+	"sort.Slice": true, "sort.SliceStable": true, "sort.Strings": true,
+	"time.Time.String": true, "time.Time.Format": true, "time.Duration.String": true,
+}
+
+func (s *hotScan) expr(e ast.Expr) {
+	switch e := e.(type) {
+	case nil:
+	case *ast.CallExpr:
+		s.call(e)
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && s.isNonConstString(e) {
+			s.flag(e.Pos(), "string concatenation allocates")
+		}
+		s.expr(e.X)
+		s.expr(e.Y)
+	case *ast.CompositeLit:
+		switch s.pkg.Info.TypeOf(e).Underlying().(type) {
+		case *types.Map:
+			s.flag(e.Pos(), "map literal allocates")
+		case *types.Slice:
+			s.flag(e.Pos(), "slice literal allocates")
+		}
+		for _, el := range e.Elts {
+			s.expr(el)
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				s.flag(e.Pos(), "&composite literal escapes to the heap")
+			}
+		}
+		s.expr(e.X)
+	case *ast.FuncLit:
+		s.flag(e.Pos(), "function literal (closure) allocates")
+		// Do not descend: the closure body runs elsewhere.
+	case *ast.SelectorExpr:
+		if sel, ok := s.pkg.Info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+			// A method used as a value (not called) binds its receiver.
+			s.flag(e.Pos(), "bound method value allocates")
+		}
+		s.expr(e.X)
+	case *ast.StarExpr:
+		s.expr(e.X)
+	case *ast.ParenExpr:
+		s.expr(e.X)
+	case *ast.IndexExpr:
+		s.expr(e.X)
+		s.expr(e.Index)
+	case *ast.SliceExpr:
+		s.expr(e.X)
+		s.expr(e.Low)
+		s.expr(e.High)
+		s.expr(e.Max)
+	case *ast.TypeAssertExpr:
+		s.expr(e.X)
+	case *ast.KeyValueExpr:
+		s.expr(e.Value)
+	}
+}
+
+func (s *hotScan) isNonConstString(e ast.Expr) bool {
+	tv, ok := s.pkg.Info.Types[e]
+	if !ok || tv.Value != nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func (s *hotScan) call(call *ast.CallExpr) {
+	info := s.pkg.Info
+	// Conversion?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			s.checkConversion(call, tv.Type)
+			s.expr(call.Args[0])
+		}
+		return
+	}
+	obj := callee(info, call)
+	if b, ok := obj.(*types.Builtin); ok {
+		s.builtin(call, b)
+		return
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		key := stdlibKey(fn)
+		switch {
+		case fn.Pkg() != nil && fn.Pkg().Path() == "fmt":
+			s.flag(call.Pos(), fmt.Sprintf("calls fmt.%s, which allocates", fn.Name()))
+		case allocatingStdlib[key]:
+			s.flag(call.Pos(), fmt.Sprintf("calls %s, which allocates", key))
+		case s.w.m.FuncDecl(fn) != nil:
+			s.facts.edges = append(s.facts.edges, callEdge{pos: call.Pos(), fn: fn})
+		}
+		s.checkArgBoxing(call, fn.Type())
+	} else if obj != nil {
+		// Call through a function value: not descended (dynamic), but its
+		// arguments still execute here.
+		if sig := obj.Type(); sig != nil {
+			s.checkArgBoxing(call, sig)
+		}
+	}
+	// Walk arguments; the callee expression's receiver chain too, but not
+	// the selector itself (a called method is not a bound method value).
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		s.expr(fun.X)
+	case *ast.Ident:
+	default:
+		s.expr(fun)
+	}
+	for _, a := range call.Args {
+		s.expr(a)
+	}
+}
+
+// stdlibKey renders pkg.Func or pkg.Type.Method for denylist lookup.
+func stdlibKey(fn *types.Func) string {
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		rt := sig.Recv().Type()
+		if p, ok := rt.(*types.Pointer); ok {
+			rt = p.Elem()
+		}
+		if named, ok := rt.(*types.Named); ok {
+			return fn.Pkg().Name() + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return fn.Pkg().Name() + "." + fn.Name()
+}
+
+func (s *hotScan) builtin(call *ast.CallExpr, b *types.Builtin) {
+	switch b.Name() {
+	case "append":
+		if len(call.Args) > 0 {
+			if _, reuse := ast.Unparen(call.Args[0]).(*ast.SliceExpr); !reuse {
+				s.flag(call.Pos(), "append may grow its backing array (reuse idiom append(x[:n], ...) is exempt)")
+			}
+		}
+	case "make":
+		s.flag(call.Pos(), "make allocates")
+	case "new":
+		s.flag(call.Pos(), "new allocates")
+	}
+	for _, a := range call.Args {
+		s.expr(a)
+	}
+}
+
+// checkConversion flags string<->[]byte conversions and boxing
+// conversions to interface types.
+func (s *hotScan) checkConversion(call *ast.CallExpr, target types.Type) {
+	arg := call.Args[0]
+	at := s.pkg.Info.TypeOf(arg)
+	if at == nil {
+		return
+	}
+	tu, au := target.Underlying(), at.Underlying()
+	if isStringType(tu) && isByteSlice(au) || isByteSlice(tu) && isStringType(au) {
+		if tv, ok := s.pkg.Info.Types[call]; !ok || tv.Value == nil {
+			s.flag(call.Pos(), "string/[]byte conversion allocates")
+		}
+		return
+	}
+	if types.IsInterface(tu) && !types.IsInterface(au) {
+		s.flagBoxing(call.Pos(), at, target)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+// checkArgBoxing flags non-pointer concrete values passed to interface
+// parameters (pointers fit in an interface word without heap allocation).
+func (s *hotScan) checkArgBoxing(call *ast.CallExpr, ft types.Type) {
+	sig, ok := ft.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params.Len() == 0 {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		if sig.Variadic() && i >= params.Len()-1 {
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		} else if i < params.Len() {
+			pt = params.At(i).Type()
+		} else {
+			continue
+		}
+		s.maybeFlagBoxing(arg, pt)
+	}
+}
+
+func (s *hotScan) checkSendBoxing(st *ast.SendStmt) {
+	ct := s.pkg.Info.TypeOf(st.Chan)
+	if ct == nil {
+		return
+	}
+	ch, ok := ct.Underlying().(*types.Chan)
+	if !ok {
+		return
+	}
+	s.maybeFlagBoxing(st.Value, ch.Elem())
+}
+
+func (s *hotScan) maybeFlagBoxing(val ast.Expr, target types.Type) {
+	if target == nil || !types.IsInterface(target.Underlying()) {
+		return
+	}
+	vt := s.pkg.Info.TypeOf(val)
+	if vt == nil || types.IsInterface(vt.Underlying()) {
+		return
+	}
+	if isNilIdent(val) {
+		return
+	}
+	switch vt.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return // word-sized reference kinds box without a heap copy
+	}
+	s.flagBoxing(val.Pos(), vt, target)
+}
+
+func (s *hotScan) flagBoxing(pos token.Pos, from, to types.Type) {
+	q := types.RelativeTo(s.pkg.Types)
+	s.flag(pos, fmt.Sprintf("boxes %s into %s", types.TypeString(from, q), types.TypeString(to, q)))
+}

@@ -1,0 +1,291 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// CallbackLockAnalyzer flags calls through function-typed struct fields,
+// parameters or local function values made while a sync.Mutex or
+// sync.RWMutex acquired in the same function is still held — the PR 4
+// serveFleetTCP self-deadlock class, where a callback re-entered a lock its
+// caller was holding across the invocation.
+//
+// The tracker is intraprocedural and flow-approximate: Lock/RLock adds the
+// receiver expression to the held set, Unlock/RUnlock removes it,
+// defer Unlock pins it for the rest of the function, and branches inherit
+// the held set of their entry point (an unlock inside one branch does not
+// clear the lock for code after the branch — conservative, and exactly the
+// shape that made the original deadlock hard to see). Direct method calls
+// are not flagged: the invariant is about *indirect* calls, whose target
+// the function cannot see.
+type CallbackLockAnalyzer struct{}
+
+func (a *CallbackLockAnalyzer) Name() string { return CallbackLockName }
+
+func (a *CallbackLockAnalyzer) Doc() string {
+	return "no calls through function-typed fields, parameters or variables while a sync.Mutex/RWMutex acquired in the same function is held"
+}
+
+func (a *CallbackLockAnalyzer) Run(m *Module, _ *Context) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			if IsGenerated(file) {
+				continue
+			}
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				lt := &lockTracker{m: m, pkg: pkg, held: make(map[string]*heldLock)}
+				lt.block(fd.Body.List)
+				out = append(out, lt.findings...)
+			}
+		}
+	}
+	return out
+}
+
+// heldLock records one currently held mutex.
+type heldLock struct {
+	expr     string // canonical receiver expression, e.g. "w.mu"
+	kind     string // "Lock" or "RLock"
+	deferred bool   // held to function end via defer Unlock
+}
+
+type lockTracker struct {
+	m        *Module
+	pkg      *Package
+	held     map[string]*heldLock
+	findings []Finding
+}
+
+func (t *lockTracker) clone() map[string]*heldLock {
+	c := make(map[string]*heldLock, len(t.held))
+	for k, v := range t.held {
+		c[k] = v
+	}
+	return c
+}
+
+func (t *lockTracker) block(stmts []ast.Stmt) {
+	for _, st := range stmts {
+		t.stmt(st)
+	}
+}
+
+func (t *lockTracker) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		t.block(st.List)
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, method, ok := t.mutexOp(call); ok {
+				switch method {
+				case "Lock", "RLock":
+					t.held[recv] = &heldLock{expr: recv, kind: method}
+				case "Unlock", "RUnlock":
+					delete(t.held, recv)
+				}
+				return
+			}
+		}
+		t.expr(st.X)
+	case *ast.DeferStmt:
+		if recv, method, ok := t.mutexOp(st.Call); ok {
+			if method == "Unlock" || method == "RUnlock" {
+				if h := t.held[recv]; h != nil {
+					h.deferred = true
+				}
+				return
+			}
+		}
+		t.expr(st.Call)
+	case *ast.IfStmt:
+		t.stmt(st.Init)
+		t.expr(st.Cond)
+		saved := t.clone()
+		t.block(st.Body.List)
+		t.held = saved
+		if st.Else != nil {
+			saved = t.clone()
+			t.stmt(st.Else)
+			t.held = saved
+		}
+	case *ast.ForStmt:
+		t.stmt(st.Init)
+		t.expr(st.Cond)
+		saved := t.clone()
+		t.block(st.Body.List)
+		t.stmt(st.Post)
+		t.held = saved
+	case *ast.RangeStmt:
+		t.expr(st.X)
+		saved := t.clone()
+		t.block(st.Body.List)
+		t.held = saved
+	case *ast.SwitchStmt:
+		t.stmt(st.Init)
+		t.expr(st.Tag)
+		for _, c := range st.Body.List {
+			saved := t.clone()
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				t.expr(e)
+			}
+			t.block(cc.Body)
+			t.held = saved
+		}
+	case *ast.TypeSwitchStmt:
+		t.stmt(st.Init)
+		t.stmt(st.Assign)
+		for _, c := range st.Body.List {
+			saved := t.clone()
+			t.block(c.(*ast.CaseClause).Body)
+			t.held = saved
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			saved := t.clone()
+			cc := c.(*ast.CommClause)
+			t.stmt(cc.Comm)
+			t.block(cc.Body)
+			t.held = saved
+		}
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			t.expr(e)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			t.expr(e)
+		}
+	case *ast.SendStmt:
+		t.expr(st.Chan)
+		t.expr(st.Value)
+	case *ast.GoStmt:
+		// The goroutine body runs unlocked; its argument expressions run
+		// here.
+		for _, a := range st.Call.Args {
+			t.expr(a)
+		}
+	case *ast.LabeledStmt:
+		t.stmt(st.Stmt)
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, sp := range gd.Specs {
+				if vs, ok := sp.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						t.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		t.expr(st.X)
+	}
+}
+
+// expr scans an expression for calls made while locks are held. Nested
+// function literals get a fresh tracker (they execute later, not here).
+func (t *lockTracker) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			inner := &lockTracker{m: t.m, pkg: t.pkg, held: make(map[string]*heldLock)}
+			inner.block(n.Body.List)
+			t.findings = append(t.findings, inner.findings...)
+			return false
+		case *ast.CallExpr:
+			t.checkCall(n)
+		}
+		return true
+	})
+}
+
+// checkCall flags n when it is an indirect call and a lock is held.
+func (t *lockTracker) checkCall(n *ast.CallExpr) {
+	if len(t.held) == 0 {
+		return
+	}
+	kind := t.indirectKind(n)
+	if kind == "" {
+		return
+	}
+	keys := make([]string, 0, len(t.held))
+	for k := range t.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h := t.held[k]
+		t.findings = append(t.findings, Finding{
+			Pos:      t.m.Fset.Position(n.Pos()),
+			Analyzer: CallbackLockName,
+			Message: fmt.Sprintf("%s %q invoked while %s.%s is held — release the mutex before calling out",
+				kind, exprString(n.Fun), h.expr, h.kind),
+		})
+	}
+}
+
+// indirectKind classifies the call target: "callback field" for
+// function-typed struct fields, "function value" for parameters and
+// locals of function type, "" for everything else (direct calls,
+// builtins, conversions, methods).
+func (t *lockTracker) indirectKind(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := t.pkg.Info.Selections[fun]; ok && sel.Kind() == types.FieldVal {
+			if _, ok := sel.Type().Underlying().(*types.Signature); ok {
+				return "callback field"
+			}
+		}
+	case *ast.Ident:
+		if v, ok := t.pkg.Info.Uses[fun].(*types.Var); ok {
+			if _, ok := v.Type().Underlying().(*types.Signature); ok {
+				return "function value"
+			}
+		}
+	}
+	return ""
+}
+
+// mutexOp recognizes x.Lock / x.RLock / x.Unlock / x.RUnlock on a
+// sync.Mutex or sync.RWMutex (value, pointer or embedded) and returns the
+// canonical receiver expression.
+func (t *lockTracker) mutexOp(call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	fn, isFn := t.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	recvType := fn.Type().(*types.Signature).Recv().Type()
+	if p, okp := recvType.(*types.Pointer); okp {
+		recvType = p.Elem()
+	}
+	named, isNamed := recvType.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+		return exprString(sel.X), sel.Sel.Name, true
+	}
+	return "", "", false
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"pcsmon/internal/obs"
+)
+
+// MetricNamesAnalyzer statically checks string-literal metric names at
+// obs.Registry registration sites against the PR 8 naming convention —
+// pcsmon_ prefix, snake_case, counters end in _total, histograms carry a
+// unit suffix. The registry enforces the same rules at runtime (the two
+// share obs.LintName, so they cannot drift), but the runtime lint only
+// fires when the registration executes; this catches misnamed metrics on
+// code paths no test happens to mount.
+//
+// Registration sites are recognized structurally — methods named Counter,
+// Gauge, Histogram, CounterFunc or GaugeFunc on a type named Registry in a
+// package named obs — so fixtures and future registries with the same shape
+// are covered. Dynamically built names are skipped (the runtime lint owns
+// those).
+type MetricNamesAnalyzer struct{}
+
+func (a *MetricNamesAnalyzer) Name() string { return MetricNamesName }
+
+func (a *MetricNamesAnalyzer) Doc() string {
+	return "string-literal metric registrations must satisfy the obs naming convention (pcsmon_ prefix, snake_case, _total counters, unit-suffixed histograms)"
+}
+
+// metricKind maps registration method names to the metric type LintName
+// validates.
+var metricKind = map[string]string{
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
+}
+
+func (a *MetricNamesAnalyzer) Run(m *Module, _ *Context) []Finding {
+	var out []Finding
+	for _, pkg := range m.Packages {
+		for _, file := range pkg.Files {
+			if IsGenerated(file) {
+				continue
+			}
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				kind, ok := registrationKind(pkg.Info, call)
+				if !ok {
+					return true
+				}
+				name, ok := constString(pkg.Info, call.Args[0])
+				if !ok {
+					return true // dynamic name: runtime lint owns it
+				}
+				if err := obs.LintName(name, kind); err != nil {
+					out = append(out, Finding{
+						Pos:      m.Fset.Position(call.Args[0].Pos()),
+						Analyzer: MetricNamesName,
+						Message:  fmt.Sprintf("%s registration: %v", kind, err),
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// registrationKind reports whether call is an obs.Registry registration
+// method, and which metric type it registers.
+func registrationKind(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	kind, ok := metricKind[sel.Sel.Name]
+	if !ok {
+		return "", false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Name() != "obs" {
+		return "", false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return "", false
+	}
+	rt := sig.Recv().Type()
+	if p, ok := rt.(*types.Pointer); ok {
+		rt = p.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	if !ok || named.Obj().Name() != "Registry" {
+		return "", false
+	}
+	return kind, true
+}

@@ -1,0 +1,28 @@
+// Package fix exercises the clock-discipline analyzer: a package that
+// declares an injected clock must not call time.Now/time.Since, while
+// installing time.Now as the default (a value use) stays legal.
+package fix
+
+import "time"
+
+type T struct {
+	Clock func() time.Time
+}
+
+func New() *T {
+	t := &T{}
+	t.Clock = time.Now
+	return t
+}
+
+func (t *T) Bad() time.Time {
+	return time.Now()
+}
+
+func (t *T) BadSince(s time.Time) time.Duration {
+	return time.Since(s)
+}
+
+func (t *T) Good() time.Time {
+	return t.Clock()
+}

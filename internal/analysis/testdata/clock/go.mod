@@ -1,0 +1,3 @@
+module fix.example/clock
+
+go 1.24

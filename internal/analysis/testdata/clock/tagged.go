@@ -1,0 +1,9 @@
+//go:build plan9
+
+package fix
+
+import "time"
+
+func Tagged() time.Time {
+	return time.Now()
+}

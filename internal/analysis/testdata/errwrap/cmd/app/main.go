@@ -1,0 +1,29 @@
+// Command app exercises the cmd/ scope rules: parse* and *Config
+// functions here are validation paths.
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errFlag = errors.New("app: bad flag")
+
+func main() {}
+
+func parseLevel(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty level")
+	}
+	if s == "x" {
+		return 0, fmt.Errorf("level %q: %w", s, errFlag)
+	}
+	return 1, nil
+}
+
+func loadConfig(path string) error {
+	if path == "" {
+		return fmt.Errorf("no config path")
+	}
+	return nil
+}

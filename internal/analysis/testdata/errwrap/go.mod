@@ -1,0 +1,3 @@
+module fix.example/errwrap
+
+go 1.24

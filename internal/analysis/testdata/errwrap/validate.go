@@ -1,0 +1,30 @@
+// Package fix exercises the errbadconfig analyzer: validate* functions are
+// in scope everywhere, parse* only on the config surfaces (cmd/, control).
+package fix
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrBad = errors.New("bad")
+
+func validateThing(n int) error {
+	if n < 0 {
+		return errors.New("negative")
+	}
+	if n > 10 {
+		return fmt.Errorf("too big: %d", n)
+	}
+	if n == 3 {
+		return fmt.Errorf("three: %w", ErrBad)
+	}
+	return nil
+}
+
+func parseThing(s string) error {
+	if s == "" {
+		return errors.New("library parse helpers are out of scope")
+	}
+	return nil
+}

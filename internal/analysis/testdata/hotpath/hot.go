@@ -1,0 +1,47 @@
+// Package fix exercises the hotpath analyzer: allocation findings on
+// annotated roots and their static callees, cold-branch exemptions, and
+// edge pruning via an ignore directive.
+package fix
+
+import "fmt"
+
+var sink []float64
+
+//pcslint:hotpath
+func Hot(xs []float64, name string) string {
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	label := "v=" + name
+	helper(xs)
+	return label
+}
+
+func helper(xs []float64) {
+	sink = append(sink, xs...)
+}
+
+//pcslint:hotpath
+func HotErr(n int) error {
+	if n < 0 {
+		return fmt.Errorf("bad n %d", n)
+	}
+	fmt.Println("tick")
+	return nil
+}
+
+//pcslint:hotpath
+func HotPruned() {
+	//pcslint:ignore hotpath -- maintenance runs once per rotation, off the steady-state path
+	maintenance()
+}
+
+func maintenance() []int {
+	return make([]int, 4)
+}
+
+//pcslint:hotpath
+func HotReuse(dst, src []float64) []float64 {
+	return append(dst[:0], src...)
+}

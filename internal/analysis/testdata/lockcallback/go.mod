@@ -1,0 +1,3 @@
+module fix.example/lockcallback
+
+go 1.24

@@ -1,0 +1,45 @@
+// Package fix exercises the callback-under-lock analyzer: callback fields
+// and function values invoked with a mutex held, the defer-pin, and the
+// conservative branch treatment.
+package fix
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	cb func()
+}
+
+func (s *S) Bad() {
+	s.mu.Lock()
+	s.cb()
+	s.mu.Unlock()
+}
+
+func (s *S) Good() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.cb()
+}
+
+func (s *S) BadDefer(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+func (s *S) BadBranch(cond bool) {
+	s.mu.Lock()
+	if cond {
+		s.mu.Unlock()
+	}
+	s.cb()
+}
+
+func (s *S) DirectOK() {
+	s.mu.Lock()
+	s.helper()
+	s.mu.Unlock()
+}
+
+func (s *S) helper() {}

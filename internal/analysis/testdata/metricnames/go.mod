@@ -1,0 +1,3 @@
+module fix.example/metricnames
+
+go 1.24

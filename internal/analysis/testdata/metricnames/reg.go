@@ -1,0 +1,18 @@
+// Package fix exercises the metric-names analyzer against the PR 8 naming
+// convention; dynamically built names are left to the runtime lint.
+package fix
+
+import "fix.example/metricnames/obs"
+
+func Register(r *obs.Registry) {
+	_ = r.Counter("pcsmon_frames_total", "ok")
+	_ = r.Counter("pcsmon_frames", "counter missing _total")
+	_ = r.Gauge("pcsmon_queue_depth", "ok")
+	_ = r.Gauge("pcsmon_queue_depth_total", "gauge with _total")
+	_ = r.Gauge("BadName", "prefix and case")
+	_ = r.Histogram("pcsmon_score_seconds", "ok", nil)
+	_ = r.Histogram("pcsmon_score", "no unit suffix", nil)
+	_ = r.Counter(dynamic(), "dynamic names are the runtime lint's problem")
+}
+
+func dynamic() string { return "x" }

@@ -1,0 +1,3 @@
+module fix.example/suppress
+
+go 1.24

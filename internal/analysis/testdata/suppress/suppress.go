@@ -1,0 +1,29 @@
+// Package fix exercises directive hygiene: suppressions must parse, name a
+// known analyzer, carry a reason, and actually silence a finding.
+package fix
+
+import "time"
+
+type T struct {
+	Clock func() time.Time
+}
+
+func Used() time.Time {
+	//pcslint:ignore clock-discipline -- the fixture needs one legitimate suppression
+	return time.Now()
+}
+
+//pcslint:ignore clock-discipline -- nothing below ever trips the analyzer
+func Dead() int {
+	return 1
+}
+
+func Unknown() int {
+	//pcslint:ignore no-such-analyzer -- the analyzer list is closed
+	return 2
+}
+
+//pcslint:ignore clock-discipline
+func MissingReason() int {
+	return 3
+}

@@ -303,7 +303,7 @@ func parseUnitKey(key string) (uint8, error) {
 	s := strings.TrimPrefix(key, "unit-")
 	n, err := strconv.ParseUint(s, 10, 64)
 	if err != nil || n > 255 {
-		return 0, fmt.Errorf("unit id %q must be 0..255 or unit-NNN", key)
+		return 0, fmt.Errorf("unit id %q must be 0..255 or unit-NNN: %w", key, ErrBadConfig)
 	}
 	return uint8(n), nil
 }

@@ -74,17 +74,20 @@ func (b *bus) unsubscribe(s *subscriber) {
 // publish renders the event as one SSE frame and offers it to every
 // subscriber, dropping (and counting) on full buffers.
 func (b *bus) publish(ev Event, marshal func(any) ([]byte, error)) {
+	// Render before taking the lock: marshal is caller-supplied, and calling
+	// out while holding b.mu invites the lock-inversion class pcslint's
+	// callback-under-lock analyzer exists for. The cost is one wasted
+	// marshal when there are no subscribers — events are rare.
+	data, err := marshal(ev)
+	if err != nil {
+		return
+	}
+	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", ev.Type, data))
 	b.mu.Lock()
 	if b.closed || len(b.subs) == 0 {
 		b.mu.Unlock()
 		return
 	}
-	data, err := marshal(ev)
-	if err != nil {
-		b.mu.Unlock()
-		return
-	}
-	frame := []byte(fmt.Sprintf("event: %s\ndata: %s\n\n", ev.Type, data))
 	b.published.Add(1)
 	for s := range b.subs {
 		select {

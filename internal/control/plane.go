@@ -32,6 +32,10 @@ type Options struct {
 	System *core.System
 	// ConfigPath, when set, is re-read on Reload(nil) — the SIGHUP path.
 	ConfigPath string
+	// Clock supplies the plane's notion of now (liveness stamps, flush
+	// cadence, health snapshots); nil means the wall clock. Injected so
+	// capture replay and tests can drive the timeline.
+	Clock func() time.Time
 }
 
 // UnitReport is one unit's final classified report, kept after detach or
@@ -49,8 +53,9 @@ type UnitReport struct {
 // HTTP server. Create with New, stop with Drain (or Close, which also
 // abandons the ops listener).
 type Plane struct {
-	opts Options
-	out  io.Writer
+	opts  Options
+	out   io.Writer
+	clock func() time.Time
 
 	cfgMu sync.Mutex
 	cfg   *Config
@@ -108,8 +113,12 @@ func New(cfg *Config, opts Options) (*Plane, error) {
 	if p.out == nil {
 		p.out = io.Discard
 	}
+	p.clock = opts.Clock
+	if p.clock == nil {
+		p.clock = time.Now
+	}
 	p.setUnitOnsets(cfg)
-	p.lastSeen.Store(time.Now().UnixNano())
+	p.lastSeen.Store(p.clock().UnixNano())
 
 	// The ops listener binds first so an unusable address fails before the
 	// (expensive) calibration, like the flag path did.
@@ -326,7 +335,7 @@ func (p *Plane) ingest(f *fieldbus.Frame) {
 	}
 	if offered {
 		p.accepted.Add(1)
-		p.lastSeen.Store(time.Now().UnixNano())
+		p.lastSeen.Store(p.clock().UnixNano())
 	}
 }
 
@@ -365,7 +374,7 @@ func (p *Plane) pump() {
 				Verdict:     "error",
 				AttackedVar: -1,
 				Explanation: "stream finished without a classifiable report",
-				DetachedAt:  time.Now(),
+				DetachedAt:  p.clock(),
 			}
 			if e.Report != nil {
 				rep.Verdict = e.Report.Verdict.String()
@@ -387,7 +396,7 @@ func (p *Plane) tickLoop() {
 	flushEvery := recordFlush(p.config())
 	ticker := time.NewTicker(50 * time.Millisecond)
 	defer ticker.Stop()
-	lastFlush := time.Now()
+	lastFlush := p.clock()
 	for {
 		select {
 		case <-p.drained:
@@ -396,14 +405,14 @@ func (p *Plane) tickLoop() {
 			if p.draining.Load() {
 				return
 			}
-			if err := p.pi.Tick(time.Now()); err != nil && !p.draining.Load() {
+			if err := p.pi.Tick(p.clock()); err != nil && !p.draining.Load() {
 				fmt.Fprintf(p.out, "pairing tick error: %v\n", err)
 			}
-			if p.rec != nil && flushEvery > 0 && time.Since(lastFlush) >= flushEvery {
+			if p.rec != nil && flushEvery > 0 && p.clock().Sub(lastFlush) >= flushEvery {
 				p.recMu.Lock()
 				ferr := p.rec.Flush()
 				p.recMu.Unlock()
-				lastFlush = time.Now()
+				lastFlush = p.clock()
 				if ferr != nil {
 					fmt.Fprintf(p.out, "record flush error: %v\n", ferr)
 				}
@@ -654,7 +663,7 @@ func (p *Plane) serveUnit(w http.ResponseWriter, unit uint8, id string) {
 	doc := map[string]any{"unit": id}
 	known := false
 	if h := p.obs.Health.Get(id); h != nil {
-		doc["health"] = h.Status(time.Now())
+		doc["health"] = h.Status(p.clock())
 		known = true
 	}
 	p.repMu.Lock()

@@ -126,6 +126,7 @@ func (a *OnlineAnalyzer) Push(ctrlRow, procRow []float64) (StepResult, error) {
 		if res.ProcAlarm != nil && res.ProcAlarm.RunStart < start {
 			start = res.ProcAlarm.RunStart
 		}
+		//pcslint:ignore hotpath -- the pair window is built once per detection, not per sample
 		a.win = newPairWindow(start, a.cols)
 		// Seed from the trailing rings: the run rule fired at most
 		// RunLength-1 samples after the run began, so every needed row is
@@ -271,6 +272,7 @@ func (v *viewState) push(row []float64, onset, diagW int) (*mspc.Point, *mspc.De
 	k := len(v.ring)
 	slot := v.n % k
 	if v.ring[slot] == nil {
+		//pcslint:ignore hotpath -- ring slots are laid down once on the first window lap; every later step reuses them
 		v.ring[slot] = make([]float64, len(row))
 	}
 	copy(v.ring[slot], row)
@@ -289,13 +291,16 @@ func (v *viewState) push(row []float64, onset, diagW int) (*mspc.Point, *mspc.De
 			break
 		}
 		d := *det
+		//pcslint:ignore hotpath -- detection snapshot: runs once per alarm, never on the per-sample path
 		d.Charts = append([]mspc.Chart(nil), det.Charts...)
 		v.detection = &d
 		for t := d.RunStart; t < v.n && len(v.diag) < diagW; t++ {
+			//pcslint:ignore hotpath -- diagnosis rows are copied only while an alarm is being worked up (bounded by diagW)
 			v.diag = append(v.diag, append([]float64(nil), v.rowAt(t)...))
 		}
 		alarm = v.detection
 	case v.detection != nil && len(v.diag) < diagW:
+		//pcslint:ignore hotpath -- diagnosis rows are copied only while an alarm is being worked up (bounded by diagW)
 		v.diag = append(v.diag, append([]float64(nil), row...))
 	}
 	v.pt = pt

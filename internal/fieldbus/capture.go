@@ -80,6 +80,8 @@ func NewCaptureWriter(w io.Writer) (*CaptureWriter, error) {
 // Timestamps must be nondecreasing; an earlier stamp (reordered arrival,
 // concurrent taps racing the recorder) is clamped up to the previous one —
 // the capture records arrival order, which is what replay must reproduce.
+//
+//pcslint:hotpath
 func (cw *CaptureWriter) WriteAt(f *Frame, at time.Duration) error {
 	if at < cw.last {
 		at = cw.last

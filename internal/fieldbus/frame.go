@@ -88,6 +88,8 @@ func (f *Frame) Marshal() ([]byte, error) {
 // MarshalTo encodes the frame into dst when its capacity suffices,
 // otherwise into a fresh buffer — the allocation-free path for per-sample
 // wire traffic. It returns the encoded slice.
+//
+//pcslint:hotpath
 func (f *Frame) MarshalTo(dst []byte) ([]byte, error) {
 	if f.Type != FrameSensor && f.Type != FrameActuator {
 		return nil, fmt.Errorf("fieldbus: marshal type %d: %w", int(f.Type), ErrBadFrame)
@@ -100,6 +102,7 @@ func (f *Frame) MarshalTo(dst []byte) ([]byte, error) {
 	if cap(dst) >= n {
 		buf = dst[:n]
 	} else {
+		//pcslint:ignore hotpath -- grow branch: taken until dst reaches the steady frame size, then the reuse branch wins forever
 		buf = make([]byte, n)
 	}
 	binary.BigEndian.PutUint16(buf[0:], frameMagic)
@@ -129,6 +132,8 @@ func Unmarshal(data []byte) (*Frame, error) {
 // UnmarshalInto decodes a frame into f, verifying magic and CRC. The
 // Values slice is reused when its capacity suffices, so a long-lived frame
 // decodes per-sample traffic without allocating.
+//
+//pcslint:hotpath
 func (f *Frame) UnmarshalInto(data []byte) error {
 	if len(data) < headerBytes+crcBytes {
 		return fmt.Errorf("fieldbus: %d bytes: %w", len(data), ErrFrameTooShort)
@@ -158,6 +163,7 @@ func (f *Frame) UnmarshalInto(data []byte) error {
 	if cap(f.Values) >= count {
 		f.Values = f.Values[:count]
 	} else {
+		//pcslint:ignore hotpath -- grow branch: taken until the frame buffer reaches the stream width, then reused
 		f.Values = make([]float64, count)
 	}
 	off := headerBytes

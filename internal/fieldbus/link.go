@@ -115,6 +115,7 @@ func (l *Link) send(t FrameType, values, dst []float64) ([]float64, error) {
 		return nil, err
 	}
 	if tap != nil {
+		//pcslint:ignore callback-under-lock -- the tap must rewrite the in-flight frame buffer that l.mu guards; taps are pure frame transforms (attack injection) and must not re-enter the link
 		tap(&l.recvFrame)
 		// A tap may rewrite values but not break the frame: delivering an
 		// empty or overgrown block would hand the victim side a slice no

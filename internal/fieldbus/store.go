@@ -266,6 +266,8 @@ func (st *CaptureStore) openSegment(n int) error {
 // WriteAt appends one frame at the given capture-relative timestamp (see
 // CaptureWriter.WriteAt for the clamping contract), rotating, sealing and
 // pruning as budgets dictate.
+//
+//pcslint:hotpath
 func (st *CaptureStore) WriteAt(f *Frame, at time.Duration) error {
 	if st.cw == nil {
 		return fmt.Errorf("fieldbus: capture store closed: %w", ErrBadCapture)
@@ -278,6 +280,7 @@ func (st *CaptureStore) WriteAt(f *Frame, at time.Duration) error {
 		return err
 	}
 	rec := int64(captureRecHeader + wire)
+	//pcslint:ignore hotpath -- rotation seals at most once per segment (size/age gated); the per-frame append path stays allocation-free
 	if err := st.maybeRotate(rec, at); err != nil {
 		return err
 	}

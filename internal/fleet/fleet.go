@@ -455,6 +455,8 @@ func (p *Pool) Attach(id string, onset int) error {
 // Pushing concurrently with Detach of the same plant is a caller-side
 // race: observations enqueued after the detach are discarded (never
 // scored out of order).
+//
+//pcslint:hotpath
 func (p *Pool) Push(id string, ctrl, proc []float64) error {
 	if ctrl != nil && len(ctrl) != p.cols {
 		return fmt.Errorf("fleet: controller row has %d vars, want %d: %w", len(ctrl), p.cols, core.ErrBadInput)
@@ -714,6 +716,7 @@ func (p *Pool) getRow() *[]float64 {
 	if v := p.scratch.Get(); v != nil {
 		return v.(*[]float64)
 	}
+	//pcslint:ignore hotpath -- free-list miss: rows are allocated only until the sync.Pool warms, then recycled
 	row := make([]float64, p.cols)
 	return &row
 }
@@ -731,10 +734,8 @@ func (p *Pool) getBatch() *obsBatch {
 	if v := p.batches.Get(); v != nil {
 		return v.(*obsBatch)
 	}
-	return &obsBatch{
-		ctrl: make([]*[]float64, p.cfg.Batch),
-		proc: make([]*[]float64, p.cfg.Batch),
-	}
+	//pcslint:ignore hotpath -- free-list miss: batch boxes are allocated only until the sync.Pool warms, then recycled
+	return &obsBatch{ctrl: make([]*[]float64, p.cfg.Batch), proc: make([]*[]float64, p.cfg.Batch)}
 }
 
 // putBatch recycles a batch box and every row box still in it.
@@ -791,6 +792,8 @@ func (w *worker) run() {
 // score runs one boxed observation through the stream's analyzer and emits
 // its events — the per-observation body shared by the batched and unbatched
 // delivery paths. It consumes (recycles) the row boxes.
+//
+//pcslint:hotpath
 func (w *worker) score(st *stream, ctrl, proc *[]float64) {
 	p := w.pool
 	if st.finished {
@@ -825,6 +828,7 @@ func (w *worker) score(st *stream, ctrl, proc *[]float64) {
 	st.samples++
 	p.observations.Add(1)
 	if p.tracker != nil {
+		//pcslint:ignore hotpath -- adaptive refits are cadence-gated (Config.AdaptEvery) and rebuild models by design; the steady-state score step never enters this edge
 		w.adaptStep(st, res, cr, pr)
 	}
 	if p.scoreLatency != nil {
@@ -884,6 +888,7 @@ func (w *worker) emitStep(st *stream, res core.StepResult) {
 		if v := p.scored.Get(); v != nil {
 			ev = v.(*Scored)
 		} else {
+			//pcslint:ignore hotpath -- free-list miss: Scored events are pooled via Recycle; allocation stops once consumers return them
 			ev = &Scored{}
 		}
 		ev.Plant = st.id
@@ -903,6 +908,7 @@ func (w *worker) emitStep(st *stream, res core.StepResult) {
 		if st.hp != nil {
 			st.hp.Alarm(obs.AlarmCtrl)
 		}
+		//pcslint:ignore hotpath -- alarms are rare by construction (ARL-tuned limits); boxing one Alarm per detection is not steady-state work
 		p.events <- Alarm{Plant: st.id, View: "controller", Detection: *res.CtrlAlarm}
 	}
 	if res.ProcAlarm != nil {
@@ -910,6 +916,7 @@ func (w *worker) emitStep(st *stream, res core.StepResult) {
 		if st.hp != nil {
 			st.hp.Alarm(obs.AlarmProc)
 		}
+		//pcslint:ignore hotpath -- alarms are rare by construction (ARL-tuned limits); boxing one Alarm per detection is not steady-state work
 		p.events <- Alarm{Plant: st.id, View: "process", Detection: *res.ProcAlarm}
 	}
 }

@@ -22,6 +22,8 @@ import "fmt"
 // DotUnrolled returns the inner product of x and y, bit-identical to Dot
 // but with the bounds checks hoisted and the loop unrolled 4-wide. y must
 // be at least as long as x; extra elements are ignored.
+//
+//pcslint:hotpath
 func DotUnrolled(x, y []float64) float64 {
 	n := len(x)
 	y = y[:n]
@@ -43,6 +45,8 @@ func DotUnrolled(x, y []float64) float64 {
 
 // MulVecInto computes the matrix-vector product a·x into dst, bit-identical
 // to MulVec but allocation-free and row-swept with DotUnrolled.
+//
+//pcslint:hotpath
 func MulVecInto(a *Matrix, x, dst []float64) error {
 	if a.cols != len(x) {
 		return errMulVecShape(a, len(x))
@@ -59,6 +63,8 @@ func MulVecInto(a *Matrix, x, dst []float64) error {
 // SubDivInto computes dst[i] = (x[i] − sub[i]) / div[i] — the fused
 // center-and-scale step of MSPC preprocessing — unrolled 4-wide. x, sub and
 // div must be at least as long as dst.
+//
+//pcslint:hotpath
 func SubDivInto(dst, x, sub, div []float64) {
 	n := len(dst)
 	x = x[:n]
@@ -83,6 +89,8 @@ func SubDivInto(dst, x, sub, div []float64) {
 // AxpyInto computes dst[i] += a·x[i] — the accumulation step of projection
 // and covariance updates — unrolled 4-wide. x must be at least as long as
 // dst.
+//
+//pcslint:hotpath
 func AxpyInto(dst []float64, a float64, x []float64) {
 	n := len(dst)
 	x = x[:n]
@@ -103,6 +111,8 @@ func AxpyInto(dst []float64, a float64, x []float64) {
 // FMAInto computes dst[i] = a·dst[i] + b·x[i] — the exponentially-forgetting
 // accumulation step of the EWMA covariance tracker — unrolled 4-wide. x
 // must be at least as long as dst.
+//
+//pcslint:hotpath
 func FMAInto(dst []float64, a float64, x []float64, b float64) {
 	n := len(dst)
 	x = x[:n]

@@ -140,6 +140,7 @@ func (d *Detector) Step(row []float64) (Point, *Detection, error) {
 		OverQ: stats.Q > lim.Q99,
 	}
 	if d.keep {
+		//pcslint:ignore hotpath -- point history is kept only in keep mode (offline runs); the monitoring deployment never sets it
 		d.points = append(d.points, p)
 	}
 	if p.Over() {
@@ -148,13 +149,17 @@ func (d *Detector) Step(row []float64) (Point, *Detection, error) {
 		}
 		d.runLen++
 		if d.runLen >= d.k && d.detected == nil {
+			//pcslint:ignore hotpath -- detection construction: runs once when a run-rule fires, never on the per-sample path
 			charts := make([]Chart, 0, 2)
 			if p.OverD {
+				//pcslint:ignore hotpath -- detection construction: runs once when a run-rule fires, never on the per-sample path
 				charts = append(charts, ChartD)
 			}
 			if p.OverQ {
+				//pcslint:ignore hotpath -- detection construction: runs once when a run-rule fires, never on the per-sample path
 				charts = append(charts, ChartQ)
 			}
+			//pcslint:ignore hotpath -- detection construction: runs once when a run-rule fires, never on the per-sample path
 			d.detected = &Detection{Index: d.index, RunStart: d.runStart, Charts: charts}
 		}
 	} else {

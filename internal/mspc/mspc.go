@@ -329,6 +329,8 @@ func (m *Monitor) Compute(row []float64) (Statistics, error) {
 // zero allocations, zero cross-package calls, bit-identical to Compute
 // (every accumulator still sums in the same ascending-index order as the
 // naive chained implementation).
+//
+//pcslint:hotpath
 func (m *Monitor) ComputeInto(row, scaled, scores []float64) (Statistics, error) {
 	nvars := len(m.hotMeans)
 	if len(row) != nvars {

@@ -167,8 +167,12 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
-// validateName enforces the project naming convention (see package doc).
-func validateName(name, typ string) error {
+// LintName checks a metric name against the project naming convention (see
+// package doc) for the given metric type ("counter", "gauge", "histogram").
+// It is the single source of truth shared by the registry's runtime
+// registration checks and the pcslint metric-names analyzer, so the static
+// and dynamic rules cannot drift.
+func LintName(name, typ string) error {
 	if !strings.HasPrefix(name, NamePrefix) {
 		return fmt.Errorf("obs: %q must start with %q: %w", name, NamePrefix, ErrBadMetric)
 	}
@@ -239,7 +243,7 @@ func escapeLabel(v string) string {
 // register validates and stores one series, creating its family on first
 // sight.
 func (r *Registry) register(name, help, typ string, labels []Label, s *series) error {
-	if err := validateName(name, typ); err != nil {
+	if err := LintName(name, typ); err != nil {
 		return err
 	}
 	lb, err := renderLabels(labels)
@@ -353,6 +357,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case s.gauge != nil:
 				writeSample(&b, f.name, "", s.labels, "", s.gauge.Value())
 			case s.fn != nil:
+				//pcslint:ignore callback-under-lock -- scrape-time collectors are snapshot reads by contract (CounterFunc/GaugeFunc doc); registration is the only writer of r.mu and never runs inside a collector
 				writeSample(&b, f.name, "", s.labels, "", s.fn())
 			case s.hist != nil:
 				writeHistogram(&b, f.name, s)

@@ -342,6 +342,8 @@ func NewCorrelator(cfg Config, sink Sink) (*Correlator, error) {
 // copied before Offer returns. Outcomes that become decidable — the slot
 // pairing up, older slots forced out of the window — are delivered to the
 // sink before Offer returns.
+//
+//pcslint:hotpath
 func (c *Correlator) Offer(typ fieldbus.FrameType, unit uint8, seq uint64, row []float64) error {
 	if typ != fieldbus.FrameSensor && typ != fieldbus.FrameActuator {
 		return fmt.Errorf("pairing: frame type %d: %w", int(typ), ErrBadFrame)
@@ -383,6 +385,7 @@ func (c *Correlator) Offer(typ fieldbus.FrameType, unit uint8, seq uint64, row [
 			// is alive, so any quarantine candidate is noise.
 			u.jumpRun = 0
 			c.stats.Stale++
+			//pcslint:ignore callback-under-lock -- the sink contract is serial in-order delivery under the correlator lock; sinks must not re-enter the Correlator (package doc)
 			return c.sink(Event{Unit: unit, Seq: seq, Outcome: Stale, View: typ})
 		}
 	case seq-u.next >= w:
@@ -401,6 +404,7 @@ func (c *Correlator) Offer(typ fieldbus.FrameType, unit uint8, seq uint64, row [
 		c.steps.Add(1)
 		c.stats.PendingSteps++
 		if c.cfg.MaxAge > 0 {
+			//pcslint:ignore callback-under-lock -- the injected clock is a pure reading (time.Now or a replay cursor) and cannot re-enter the correlator
 			s.at = c.cfg.Clock().UnixNano()
 		}
 	}
@@ -411,6 +415,7 @@ func (c *Correlator) Offer(typ fieldbus.FrameType, unit uint8, seq uint64, row [
 	if *dst != nil {
 		u.jumpRun = 0 // in-window traffic, even redundant, clears the candidate
 		c.stats.Duplicates++
+		//pcslint:ignore callback-under-lock -- the sink contract is serial in-order delivery under the correlator lock; sinks must not re-enter the Correlator (package doc)
 		return c.sink(Event{Unit: unit, Seq: seq, Outcome: Duplicate, View: typ})
 	}
 	buf := c.getRow()
@@ -520,6 +525,7 @@ func (c *Correlator) flushAll() error {
 func (c *Correlator) unit(id uint8) *unitState {
 	u := c.units[id]
 	if u == nil {
+		//pcslint:ignore hotpath -- per-unit state is built once, on the first frame a unit ever sends
 		u = &unitState{ring: make([]slot, c.cfg.Window)}
 		c.units[id] = u
 		c.nUnits++
@@ -714,6 +720,8 @@ func (c *Correlator) advanceTo(u *unitState, unit uint8, target uint64) error {
 // emitHead classifies and emits the (non-empty) head slot, updates the
 // hold-last state by buffer swap, advances the window, and runs the stall
 // detector. Buffers are recycled only after the sink has returned.
+//
+//pcslint:hotpath
 func (c *Correlator) emitHead(u *unitState, unit uint8, s *slot) error {
 	seq := u.next
 	ev := Event{Unit: unit, Seq: seq, Ctrl: s.sens, Proc: s.act}
@@ -840,6 +848,7 @@ func (c *Correlator) getRow() []float64 {
 		c.free = c.free[:n-1]
 		return buf
 	}
+	//pcslint:ignore hotpath -- free-list miss: row buffers are allocated only until the pool covers the in-flight window, then recycled
 	return make([]float64, c.cfg.Cols)
 }
 
@@ -848,5 +857,6 @@ func (c *Correlator) putRow(buf []float64) {
 	if buf == nil {
 		return
 	}
+	//pcslint:ignore hotpath -- free-list growth is bounded by the pairing window; after warm-up every push reuses the spare capacity
 	c.free = append(c.free, buf)
 }

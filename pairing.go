@@ -301,6 +301,7 @@ func (pi *PairingIngest) AttachUnit(unit uint8) error {
 		pi.plants = append(pi.plants, id)
 	}
 	if pi.opts.OnAttach != nil {
+		//pcslint:ignore callback-under-lock -- holding stateMu serializes the hook with attach/detach ordering: OnAttach must be observed before any detach for the same unit can interleave; hooks are wiring-time notifications that must not re-enter the ingest
 		pi.opts.OnAttach(id)
 	}
 	return nil
